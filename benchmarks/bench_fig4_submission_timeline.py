@@ -1,0 +1,62 @@
+"""Figure 4 — submissions per hour over the last two weeks.
+
+Paper: "During the last 2 weeks of the course, a total of 30,782
+submissions were made to RAI. ... Students made a significant number of
+submissions during the last week of the course which followed their
+circadian rhythm."
+
+Shape expectations asserted: tens of thousands of submissions in the
+window, the last week clearly dominating the week before, and a circadian
+signature (busy evenings vs near-silent pre-dawn hours).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import course_config, print_banner
+from repro.analysis import ascii_timeline, hourly_counts, peak_hour
+from repro.workload.behavior import DAY, HOUR
+
+
+def test_fig4_submissions_per_hour(benchmark, course_result):
+    simulation, result = course_result
+    config = result.config
+    window_start = (config.duration_days - 14) * DAY
+    window_end = config.duration_days * DAY
+
+    def regenerate():
+        times = result.last_two_weeks()
+        return times, hourly_counts(times, window_start, window_end)
+
+    times, (starts, counts) = benchmark.pedantic(regenerate, rounds=1,
+                                                 iterations=1)
+
+    print_banner("Figure 4 — submissions/hour, last 2 weeks "
+                 "(one row per day, one cell per hour)")
+    print(ascii_timeline(times, window_start, window_end))
+    peak = peak_hour(times, window_start, window_end)
+    print(f"\ntotal in window: {len(times)} "
+          f"(paper: 30,782 at 58 teams; scaled runs scale down)")
+    print(f"peak hour: {peak['count']} submissions")
+
+    week1 = result.submissions_in_window(config.duration_days - 14,
+                                         config.duration_days - 7)
+    week2 = result.submissions_in_window(config.duration_days - 7,
+                                         config.duration_days)
+    print(f"second-to-last week: {len(week1)}; last week: {len(week2)} "
+          f"({len(week2) / max(1, len(week1)):.1f}x)")
+
+    # Circadian contrast: average hour-of-day profile.
+    hours_of_day = [((t % DAY) // HOUR) for t in times]
+    profile = np.bincount([int(h) for h in hours_of_day], minlength=24)
+    night = profile[3:6].mean()
+    evening = profile[18:22].mean()
+    print(f"avg 03:00-06:00 vs 18:00-22:00 submissions: "
+          f"{night:.0f} vs {evening:.0f}")
+
+    # --- shape assertions -------------------------------------------------
+    n_teams = config.n_teams
+    expected_floor = 200 * n_teams   # paper: ~530 per team in the window
+    assert len(times) > expected_floor * 0.5
+    assert len(week2) > 1.3 * len(week1)       # final-week surge
+    assert evening > 3 * max(night, 1)         # circadian rhythm
+    assert counts.sum() == len(times)

@@ -1,0 +1,80 @@
+"""Listings 1 & 2 — the two canonical build files, executed verbatim.
+
+Listing 1 (the default rai-build.yml) must: configure with CMake, build
+with make, run the small test10 dataset, and profile under nvprof into
+``timeline.nvprof``.  Listing 2 (the enforced final-submission file) must:
+copy ``/src`` to ``/build/submission_code`` and time the full-dataset run
+under ``/usr/bin/time``.
+"""
+
+from benchmarks.conftest import print_banner
+from repro.core.job import JobKind, JobStatus
+from repro.core.system import RaiSystem
+from repro.vfs import VirtualFileSystem, unpack_tree
+
+FILES = {
+    "main.cu": "// @rai-sim quality=0.85 impl=analytic\n",
+    "CMakeLists.txt": "add_executable(ece408 main.cu)\n",
+    "USAGE": "see report",
+    "report.pdf": b"%PDF-1.4" + bytes(1024),
+}
+
+
+def run_both_listings():
+    system = RaiSystem.standard(num_workers=1, seed=3)
+    client = system.new_client(team="listing-team")
+    client.stage_project(FILES)
+    dev = system.run(client.submit(JobKind.RUN))
+
+    def wait(sim):
+        yield sim.timeout(31)
+
+    system.run(wait(system.sim))
+    final = system.run(client.submit(JobKind.SUBMIT))
+    return system, client, dev, final
+
+
+def _build_fs(client, result):
+    fs = VirtualFileSystem()
+    unpack_tree(client.download_build(result), fs, "/")
+    return fs
+
+
+def test_listings_default_and_final_build_files(benchmark):
+    system, client, dev, final = benchmark.pedantic(
+        run_both_listings, rounds=1, iterations=1)
+
+    print_banner("Listings 1 & 2 — canonical build files executed")
+    dev_fs = _build_fs(client, dev)
+    final_fs = _build_fs(client, final)
+
+    checks = [
+        ("L1: job succeeded", dev.status is JobStatus.SUCCEEDED),
+        ("L1: echo 'Building project'",
+         "Building project" in dev.stdout_text()),
+        ("L1: cmake configured", "Configuring done" in dev.stdout_text()),
+        ("L1: make built ece408", dev_fs.isfile("/ece408")),
+        ("L1: test10 run printed internal timer",
+         dev.internal_time is not None),
+        ("L1: nvprof wrote timeline.nvprof",
+         dev_fs.isfile("/timeline.nvprof")),
+        ("L2: job succeeded", final.status is JobStatus.SUCCEEDED),
+        ("L2: echo 'Submitting project'",
+         "Submitting project" in final.stdout_text()),
+        ("L2: /src copied to /build/submission_code",
+         final_fs.isfile("/submission_code/main.cu")),
+        ("L2: full dataset (10000) used",
+         "10000 images" in final.stdout_text()),
+        ("L2: /usr/bin/time output captured for instructors",
+         final.time_command_output is not None),
+        ("L2: ranking row recorded",
+         system.ranking.team_rank("listing-team") == 1),
+    ]
+    for label, ok in checks:
+        print(f"  [{'x' if ok else ' '}] {label}")
+    assert all(ok for _, ok in checks)
+
+    print(f"\n  dev internal timer:   {dev.internal_time:.3f}s (test10)")
+    print(f"  final internal timer: {final.internal_time:.3f}s (testfull)")
+    print(f"  final /usr/bin/time:  {final.time_command_output}")
+    assert final.internal_time > dev.internal_time

@@ -1,0 +1,62 @@
+"""§VII/§VIII headline statistics — resource usage of the whole course.
+
+Paper: "176 students formed 58 teams", "over 40,000 project submissions",
+"30,782 submissions [in the] last 2 weeks", "the file server held 100GB of
+data for 176 students", "25GB of logs and meta-data".
+
+This bench regenerates the aggregates from the shared course replay.
+Byte totals scale with the declared project size (~2.5 MB mean, the
+paper's 100 GB / 40 k submissions); see DESIGN.md's padding substitution.
+"""
+
+from benchmarks.conftest import print_banner
+from repro.analysis import format_bytes
+
+
+def test_stats_course_resource_usage(benchmark, course_result):
+    simulation, result = course_result
+
+    totals = benchmark.pedantic(result.totals, rounds=1, iterations=1)
+    config = result.config
+
+    print_banner("§VII/§VIII — course resource usage")
+    paper = {
+        "students": 176,
+        "teams": 58,
+        "submissions": "> 40,000 (30,782 in last 2 weeks)",
+        "file server": "100 GB",
+        "logs/metadata": "25 GB",
+    }
+    last2 = len(result.last_two_weeks())
+    rows = [
+        ("students", totals["students"], paper["students"]),
+        ("teams", totals["teams"], paper["teams"]),
+        ("total submissions", totals["submissions"],
+         paper["submissions"]),
+        ("last-2-weeks submissions", last2, "30,782"),
+        ("data uploaded", format_bytes(totals["uploaded_bytes"]), "~100 GB"),
+        ("file server holding", format_bytes(totals["file_server_bytes"]),
+         "100 GB"),
+        ("file server objects", totals["file_server_objects"], "-"),
+        ("db log/metadata", format_bytes(totals["log_metadata_bytes"]),
+         "25 GB (full logs; ours keeps 2 KB tails)"),
+        ("ranking rows", totals["rankings"], 58),
+        ("fleet cost", f"${totals['cost_usd']:.0f}", "(not reported)"),
+    ]
+    width = max(len(r[0]) for r in rows)
+    print(f"{'metric':<{width}} | measured | paper")
+    for name, measured, expected in rows:
+        print(f"{name:<{width}} | {measured} | {expected}")
+
+    # --- shape assertions (scaled to the configured class size) ----------
+    scale = config.n_teams / 58.0
+    assert totals["students"] == config.n_students
+    assert totals["teams"] == config.n_teams
+    assert totals["submissions"] > 25_000 * scale
+    assert last2 > 15_000 * scale
+    assert last2 / totals["submissions"] > 0.5   # last 2 weeks dominate
+    # ~100 GB at full scale; proportionally less at smaller scales.
+    assert totals["file_server_bytes"] > 40e9 * scale * \
+        (config.duration_days / 35.0)
+    assert totals["rankings"] == config.n_teams
+    assert totals["jobs_recorded"] == totals["submissions"]

@@ -1,0 +1,45 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every paper artifact (table/figure) has one ``bench_*`` file.  Benches
+print the regenerated rows/series in the paper's shape — run with ``-s``
+to see them — and assert the *shape-level* expectations recorded in
+EXPERIMENTS.md (who wins, rough factors, where distributions fall).
+
+The flagship five-week course replay is expensive (~2-4 minutes), so it
+runs once per session and is shared by the Figure 2 / Figure 4 / §VII
+benches.  Set ``REPRO_COURSE_SCALE=small`` for a reduced replay during
+development.
+"""
+
+import os
+
+import pytest
+
+from repro.workload.course import CourseConfig, CourseSimulation
+
+_COURSE_CACHE = {}
+
+
+def course_config() -> CourseConfig:
+    scale = os.environ.get("REPRO_COURSE_SCALE", "full")
+    if scale == "small":
+        return CourseConfig(n_students=36, n_teams=12, duration_days=10.0,
+                            seed=408, final_week_instances=8)
+    return CourseConfig(seed=408)   # the paper's 176 students / 58 teams
+
+
+@pytest.fixture(scope="session")
+def course_result():
+    """The shared course replay (run once, reused by several benches)."""
+    key = os.environ.get("REPRO_COURSE_SCALE", "full")
+    if key not in _COURSE_CACHE:
+        simulation = CourseSimulation(course_config())
+        _COURSE_CACHE[key] = (simulation, simulation.run())
+    return _COURSE_CACHE[key]
+
+
+def print_banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""The competition: final submissions, ranking, and grading.
+
+Reproduces the instructor-facing story of §V/§VI: several teams make
+final submissions (forced through the Listing 2 uniform build file), the
+ranking database records internal + /usr/bin/time timings, students check
+the anonymised leaderboard, and the staff then downloads every final,
+re-runs each 3 times taking the minimum, and generates grade reports with
+the 30/20/10/40 rubric.
+
+Run:  python examples/competition_finals.py
+"""
+
+from repro import RaiSystem
+from repro.core.cli import RaiCLI
+from repro.core.job import JobKind
+from repro.grading import (
+    GradingEvaluator,
+    SubmissionDownloader,
+    generate_grade_reports,
+)
+
+TEAMS = {
+    # team name -> (optimisation quality, achieved accuracy)
+    "warp-speed": (0.95, 1.00),
+    "tile-masters": (0.85, 1.00),
+    "coalesced": (0.70, 0.97),
+    "register-pressure": (0.45, 0.99),
+    "still-debugging": (0.15, 0.82),
+}
+
+
+def project_files(quality: float, correctness: float) -> dict:
+    return {
+        "main.cu": (
+            f"// @rai-sim quality={quality} impl=analytic "
+            f"correctness={correctness}\n"
+            "#define TILE_WIDTH 32\n"
+            "// shared-memory tiled convolution ...\n"
+        ),
+        "CMakeLists.txt": "add_executable(ece408 main.cu)\n",
+        "USAGE": "cmake /src && make && ./ece408 <data> <model>",
+        "report.pdf": b"%PDF-1.4" + bytes(3000),
+    }
+
+
+def main() -> None:
+    system = RaiSystem.standard(num_workers=3, seed=408)
+
+    # --- each team files its final submission -------------------------
+    clients = {}
+    for team, (quality, correctness) in TEAMS.items():
+        client = system.new_client(team=team)
+        client.stage_project(project_files(quality, correctness))
+        clients[team] = client
+    results = system.run_all(
+        [c.submit(JobKind.SUBMIT) for c in clients.values()])
+    for team, result in zip(TEAMS, results):
+        print(f"{team:<18} {result.status.value:<10} "
+              f"internal={result.internal_time:8.3f}s "
+              f"time(1)={result.time_command_output['real']:8.2f}s")
+
+    # --- a student checks the leaderboard ------------------------------
+    print("\n=== `rai ranking` as seen by team 'coalesced' ===")
+    cli = RaiCLI(system, clients["coalesced"])
+    print(cli.run_command("rai ranking"))
+
+    # --- the staff grades ----------------------------------------------
+    print("=== instructor: download → re-run ×3 (min) → grade ===")
+    downloader = SubmissionDownloader(system)
+    submissions = downloader.download_all(clean=True)
+    evaluator = GradingEvaluator()
+    evaluations = {s.team: evaluator.evaluate(s, repetitions=3)
+                   for s in submissions}
+    ranks = {row["team"]: row["rank"]
+             for row in system.ranking.leaderboard()}
+    reports = generate_grade_reports(submissions, evaluations, ranks)
+    for report in sorted(reports, key=lambda r: r.breakdown.rank or 99):
+        print()
+        print(report.render())
+
+
+if __name__ == "__main__":
+    main()

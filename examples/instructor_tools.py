@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Instructor utilities end to end (§VI + §VII "RAI Client Delivery").
+
+1. Parse a class roster and email every student their RAI credentials
+   (Listing 3's template, through the recorded outbox).
+2. Configure master/devel branches, run the continuous builder across the
+   10-target matrix, and render the Figure 3 download page.
+3. A student reports a bug against an embedded commit id — bisect the
+   history to find the regression.
+
+Run:  python examples/instructor_tools.py
+"""
+
+from repro.auth import KeyMailer, KeyStore, parse_profile, parse_roster
+from repro.release import ContinuousBuilder, DownloadPage, find_regression
+from repro.sim import Simulator
+from repro.storage import ObjectStore
+
+ROSTER_CSV = """\
+firstname,lastname,userid
+Ada,Lovelace,alovelace
+Alan,Turing,aturing
+Grace,Hopper,ghopper
+Edsger,Dijkstra,edijkstra
+"""
+
+
+def main() -> None:
+    # --- 1. keys from the roster ---------------------------------------
+    print("=== issuing credentials from the roster ===")
+    roster = parse_roster(ROSTER_CSV)
+    keystore = KeyStore()
+    mailer = KeyMailer(keystore)
+    teams = {"alovelace": "team-analytical", "aturing": "team-analytical",
+             "ghopper": "team-compilers", "edijkstra": "team-compilers"}
+    mailer.send_keys(roster, teams=teams)
+    print(f"emails sent: {len(mailer.outbox)}")
+    sample = mailer.outbox.messages[0]
+    print(f"\n--- email to {sample.to} ---")
+    print(sample.body)
+
+    # The emailed block is a working .rai.profile:
+    profile_lines = "\n".join(l for l in sample.body.splitlines()
+                              if l.startswith("RAI_"))
+    profile = parse_profile(profile_lines)
+    keystore.verify_pair(profile.access_key, profile.secret_key)
+    print("(verified: the emailed tokens authenticate)")
+
+    # --- 2. client delivery ---------------------------------------------
+    print("\n=== continuous builds and the download page (Figure 3) ===")
+    storage = ObjectStore(Simulator())
+    builder = ContinuousBuilder(storage=storage)
+    builder.devel.commit("initial import")
+    builder.devel.commit("add `rai ranking`")
+    builder.master.merge_from(builder.devel)
+    builder.devel.commit("refactor uploader")          # fine
+    bad = builder.devel.commit("optimize tar writer")  # oops
+    builder.devel.commits[-1] = type(bad)(
+        sha=bad.sha, message=bad.message, author=bad.author,
+        introduces_bug=True)
+    builder.devel.commit("tweak progress bar")
+    builder.build_all(build_date="2016-11-20T04:00:00Z")
+    print(DownloadPage(builder).render())
+    print(f"binaries published: {storage.total_objects}")
+
+    # --- 3. regression bisection ----------------------------------------
+    print("\n=== bug report: 'uploads hang on devel build', bisecting ===")
+    commits = builder.devel.commits
+
+    def is_bad(commit):
+        idx = commits.index(commit)
+        return any(c.introduces_bug for c in commits[: idx + 1])
+
+    culprit = find_regression(commits, is_bad)
+    print(f"first bad commit: {culprit.sha} ({culprit.message!r})")
+    print("(students report the commit id their binary embeds — §VII)")
+
+
+if __name__ == "__main__":
+    main()

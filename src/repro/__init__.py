@@ -1,0 +1,75 @@
+"""repro — a reproduction of RAI, a scalable project-submission system.
+
+This package reimplements, in pure Python, the complete system described in
+*"RAI: A Scalable Project Submission System for Parallel Programming
+Courses"* (Dakkak, Pearson, Li, Hwu — IPDPSW 2017): an interactive
+command-line submission client, sandboxed container workers, an NSQ-style
+message broker, an S3-style object store, a MongoDB-style document database,
+competition ranking, instructor tooling, and the elastic GPU cluster the
+course ran on — all executing on a deterministic discrete-event simulation
+kernel so that an entire 5-week course with tens of thousands of submissions
+replays in seconds.
+
+Quickstart::
+
+    from repro import RaiSystem, RaiClient
+
+    system = RaiSystem.standard(num_workers=2, seed=7)
+    client = system.new_client(team="gpu-wizards")
+    client.stage_project({"solution.cu": "// student code"})
+    result = system.run(client.submit())
+    print(result.stdout_text())
+
+See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
+paper-versus-measured results of every table and figure.
+"""
+
+from repro._version import __version__, build_info
+
+# Public re-exports are resolved lazily (PEP 562) so that importing light
+# subsystems (e.g. ``repro.sim`` in a benchmark) does not pull in the whole
+# stack.
+_LAZY_EXPORTS = {
+    "RaiSystem": ("repro.core.system", "RaiSystem"),
+    "RaiClient": ("repro.core.client", "RaiClient"),
+    "RaiWorker": ("repro.core.worker", "RaiWorker"),
+    "Job": ("repro.core.job", "Job"),
+    "JobKind": ("repro.core.job", "JobKind"),
+    "JobResult": ("repro.core.job", "JobResult"),
+    "JobStatus": ("repro.core.job", "JobStatus"),
+    "RaiBuildSpec": ("repro.buildspec", "RaiBuildSpec"),
+    "default_build_spec": ("repro.buildspec", "default_build_spec"),
+    "final_submission_spec": ("repro.buildspec", "final_submission_spec"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))
+
+
+__all__ = [
+    "__version__",
+    "build_info",
+    "RaiSystem",
+    "RaiClient",
+    "RaiWorker",
+    "Job",
+    "JobKind",
+    "JobResult",
+    "JobStatus",
+    "RaiBuildSpec",
+    "default_build_spec",
+    "final_submission_spec",
+]

@@ -1,0 +1,25 @@
+"""Version and build stamping.
+
+The paper (§VII, "RAI Client Delivery") embeds the commit version and build
+date inside every client binary so that bug reports can be mapped to the
+commit that introduced a regression.  We reproduce that mechanism: the
+release pipeline (:mod:`repro.release`) stamps builds with this metadata.
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+#: Default metadata embedded in "built" clients when the release pipeline
+#: has not stamped anything more specific.
+_BUILD_INFO = {
+    "version": __version__,
+    "branch": "master",
+    "commit": "0000000",
+    "build_date": "1970-01-01T00:00:00Z",
+}
+
+
+def build_info() -> dict:
+    """Return a copy of the embedded build metadata."""
+    return dict(_BUILD_INFO)

@@ -1,0 +1,18 @@
+"""Histogram/timeline analysis and the ASCII renderers the benchmark
+harness uses to print paper-shaped tables and figures."""
+
+from repro.analysis.histogram import bin_runtimes, runtime_histogram, ascii_histogram
+from repro.analysis.timeline import hourly_counts, ascii_timeline, peak_hour
+from repro.analysis.report import render_table, format_bytes, format_duration
+
+__all__ = [
+    "bin_runtimes",
+    "runtime_histogram",
+    "ascii_histogram",
+    "hourly_counts",
+    "ascii_timeline",
+    "peak_hour",
+    "render_table",
+    "format_bytes",
+    "format_duration",
+]

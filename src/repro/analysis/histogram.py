@@ -1,0 +1,67 @@
+"""Runtime histograms (Figure 2: 0.1-second bins over the top 30 teams)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def bin_runtimes(times: Sequence[float], bin_width: float = 0.1,
+                 max_time: float = None) -> Tuple[np.ndarray, np.ndarray]:
+    """Histogram ``times`` into fixed-width bins starting at 0.
+
+    Returns ``(edges, counts)`` with ``len(edges) == len(counts) + 1``.
+    """
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    times = np.asarray(list(times), dtype=float)
+    if times.size and (times < 0).any():
+        raise ValueError("runtimes must be non-negative")
+    top = max_time if max_time is not None else \
+        (float(times.max()) if times.size else bin_width)
+    n_bins = max(1, int(np.ceil(top / bin_width + 1e-9)))
+    edges = np.arange(n_bins + 1) * bin_width
+    counts, _ = np.histogram(times, bins=edges)
+    return edges, counts
+
+
+def runtime_histogram(times: Sequence[float],
+                      bin_width: float = 0.1) -> List[dict]:
+    """Figure 2 rows: one dict per non-empty bin."""
+    edges, counts = bin_runtimes(times, bin_width)
+    rows = []
+    for i, count in enumerate(counts):
+        if count > 0:
+            rows.append({
+                "lo": float(edges[i]),
+                "hi": float(edges[i + 1]),
+                "teams": int(count),
+            })
+    return rows
+
+
+def ascii_histogram(times: Sequence[float], bin_width: float = 0.1,
+                    width: int = 40, collapse_after: float = 2.0) -> str:
+    """Terminal rendering of the Figure 2 histogram.
+
+    Bins past ``collapse_after`` seconds are merged into one tail row so a
+    2-minute outlier does not print a thousand empty lines.
+    """
+    times = list(times)
+    if not times:
+        return "(no data)"
+    head = [t for t in times if t < collapse_after]
+    tail = [t for t in times if t >= collapse_after]
+    edges, counts = bin_runtimes(head, bin_width, max_time=collapse_after)
+    peak = max(int(counts.max()) if counts.size else 1, 1)
+    lines = []
+    for i, count in enumerate(counts):
+        bar = "█" * max(0, round(width * count / peak))
+        lines.append(f"{edges[i]:5.1f}-{edges[i + 1]:4.1f}s "
+                     f"|{bar:<{width}}| {count}")
+    if tail:
+        lines.append(f" >{collapse_after:4.1f}s  "
+                     f"|{'█' * max(1, round(width * len(tail) / peak)):<{width}}| "
+                     f"{len(tail)}  (slowest {max(tail):.1f}s)")
+    return "\n".join(lines)

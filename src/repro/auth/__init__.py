@@ -1,0 +1,40 @@
+"""Authentication and the key-delivery tooling.
+
+"To prevent RAI resources from being consumed by people who are not
+registered for the course, each student is required to have an
+authorization key" (§VI).  The subpackage covers the whole flow the paper
+describes:
+
+- generation of ``RAI_ACCESS_KEY`` / ``RAI_SECRET_KEY`` pairs per student
+  or team (:mod:`repro.auth.keys`);
+- HMAC-SHA256 request signing and server-side verification
+  (:mod:`repro.auth.signing`);
+- the client's ``.rai.profile`` file (:mod:`repro.auth.profile`);
+- roster parsing (``firstname,lastname,userid`` CSV) and the templated
+  authorization email sent to every student (Listing 3), delivered through
+  a recorded outbox (:mod:`repro.auth.roster`, :mod:`repro.auth.email`).
+"""
+
+from repro.auth.keys import Credential, KeyStore, generate_key
+from repro.auth.signing import sign_request, verify_request
+from repro.auth.profile import RaiProfile, parse_profile, render_profile
+from repro.auth.roster import RosterEntry, parse_roster, render_roster
+from repro.auth.email import EmailMessage, Outbox, KeyMailer, AUTH_EMAIL_TEMPLATE
+
+__all__ = [
+    "Credential",
+    "KeyStore",
+    "generate_key",
+    "sign_request",
+    "verify_request",
+    "RaiProfile",
+    "parse_profile",
+    "render_profile",
+    "RosterEntry",
+    "parse_roster",
+    "render_roster",
+    "EmailMessage",
+    "Outbox",
+    "KeyMailer",
+    "AUTH_EMAIL_TEMPLATE",
+]

@@ -1,0 +1,66 @@
+"""The client-side ``.rai.profile`` file.
+
+"The RAI submission requires authentication tokens to be present in your
+``$HOME/.rai.profile`` (Linux/OSX) or ``%HOME%/.rai.profile`` (Windows)
+file" (Listing 3).  The format is shell-style ``KEY='value'`` lines;
+comments and blank lines are tolerated because students paste these by
+hand.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ProfileError
+
+_LINE_RE = re.compile(r"^\s*(RAI_[A-Z_]+)\s*=\s*(['\"]?)(.*?)\2\s*$")
+
+REQUIRED_FIELDS = ("RAI_USER_NAME", "RAI_ACCESS_KEY", "RAI_SECRET_KEY")
+
+
+@dataclass(frozen=True)
+class RaiProfile:
+    """Parsed student credentials."""
+
+    username: str
+    access_key: str
+    secret_key: str
+
+    def as_mapping(self) -> dict:
+        return {
+            "RAI_USER_NAME": self.username,
+            "RAI_ACCESS_KEY": self.access_key,
+            "RAI_SECRET_KEY": self.secret_key,
+        }
+
+
+def render_profile(profile: RaiProfile) -> str:
+    """Serialise to the file format students receive by email."""
+    return "".join(f"{key}='{value}'\n"
+                   for key, value in profile.as_mapping().items())
+
+
+def parse_profile(text: str) -> RaiProfile:
+    """Parse a ``.rai.profile``; raises :class:`ProfileError` if invalid."""
+    found = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        match = _LINE_RE.match(line)
+        if match is None:
+            raise ProfileError(
+                f".rai.profile line {lineno} is malformed: {line!r}")
+        found[match.group(1)] = match.group(3)
+    missing = [f for f in REQUIRED_FIELDS if f not in found]
+    if missing:
+        raise ProfileError(f".rai.profile is missing {', '.join(missing)}")
+    for field_name in REQUIRED_FIELDS:
+        if not found[field_name]:
+            raise ProfileError(f".rai.profile {field_name} is empty")
+    return RaiProfile(
+        username=found["RAI_USER_NAME"],
+        access_key=found["RAI_ACCESS_KEY"],
+        secret_key=found["RAI_SECRET_KEY"],
+    )

@@ -1,0 +1,58 @@
+"""Class roster parsing.
+
+"The tool takes as input the class roster, a comma separated file of the
+form {firstname,lastname,userid}" (§VI, Sending Authorization Keys).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import AuthError
+
+
+@dataclass(frozen=True)
+class RosterEntry:
+    first_name: str
+    last_name: str
+    user_id: str
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.first_name} {self.last_name}"
+
+    @property
+    def email(self) -> str:
+        return f"{self.user_id}@illinois.edu"
+
+
+def parse_roster(text: str) -> List[RosterEntry]:
+    """Parse a roster CSV; tolerates a header row and blank lines."""
+    entries: List[RosterEntry] = []
+    seen_ids = set()
+    reader = csv.reader(io.StringIO(text))
+    for row_num, row in enumerate(reader, start=1):
+        cells = [c.strip() for c in row]
+        if not any(cells):
+            continue
+        if row_num == 1 and cells[:3] == ["firstname", "lastname", "userid"]:
+            continue
+        if len(cells) < 3 or not all(cells[:3]):
+            raise AuthError(f"roster row {row_num} is malformed: {row!r}")
+        first, last, uid = cells[:3]
+        if uid in seen_ids:
+            raise AuthError(f"duplicate userid {uid!r} in roster")
+        seen_ids.add(uid)
+        entries.append(RosterEntry(first, last, uid))
+    return entries
+
+
+def render_roster(entries: List[RosterEntry]) -> str:
+    out = io.StringIO()
+    writer = csv.writer(out)
+    for entry in entries:
+        writer.writerow([entry.first_name, entry.last_name, entry.user_id])
+    return out.getvalue()

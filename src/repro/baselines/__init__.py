@@ -1,0 +1,39 @@
+"""Baseline submission systems and the Table I feature probes.
+
+Table I compares RAI with five alternatives along five axes:
+configurability, isolation, scalability, accessibility, and testing
+uniformity.  Rather than hard-coding the table, each system here is a
+small working model exposing the behaviours the axes measure, and
+:mod:`repro.baselines.features` derives the matrix by *probing* those
+behaviours.  The Torque/PBS model doubles as the fixed-cluster baseline in
+the elasticity benchmark.
+"""
+
+from repro.baselines.base import (
+    BaselineJob,
+    SubmissionOutcome,
+    SubmissionSystem,
+)
+from repro.baselines.student_provided import StudentProvidedSystem
+from repro.baselines.torque import TorqueCluster, TorqueJob
+from repro.baselines.webgpu import WebGPUSystem
+from repro.baselines.jenkins import JenkinsCI
+from repro.baselines.qwiklabs import QwikLabsSystem
+from repro.baselines.rai_facade import RaiFacade
+from repro.baselines.features import FEATURES, evaluate_system, feature_matrix
+
+__all__ = [
+    "BaselineJob",
+    "SubmissionOutcome",
+    "SubmissionSystem",
+    "StudentProvidedSystem",
+    "TorqueCluster",
+    "TorqueJob",
+    "WebGPUSystem",
+    "JenkinsCI",
+    "QwikLabsSystem",
+    "RaiFacade",
+    "FEATURES",
+    "evaluate_system",
+    "feature_matrix",
+]

@@ -1,0 +1,74 @@
+"""The common surface all compared systems implement.
+
+The Table I axes, operationalised:
+
+- **configurability** — can the student pick their own toolchain image
+  and arbitrary build commands (profilers, debuggers, custom flags)?
+- **isolation** — is one student's job prevented from touching another's
+  files or the host?
+- **scalability** — can the operator add execution capacity quickly
+  enough to absorb a deadline burst?
+- **accessibility** — can a remote student *without their own GPU and
+  without institutional shell access* run GPU jobs?
+- **testing uniformity** — can the course force every graded run through
+  an identical, staff-controlled procedure?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class BaselineJob:
+    """A generic job description shared by all compared systems."""
+
+    owner: str
+    commands: List[str] = field(default_factory=list)
+    image: Optional[str] = None          # requested environment
+    needs_gpu: bool = True
+    #: Behaviour flags probes use: "read_other_user", "write_host", ...
+    mischief: Optional[str] = None
+    service_seconds: float = 10.0
+
+
+@dataclass
+class SubmissionOutcome:
+    """What happened to a job."""
+
+    accepted: bool
+    ran_requested_commands: bool = False
+    used_requested_image: bool = False
+    escaped_sandbox: bool = False
+    enforced_grading_procedure: bool = False
+    had_gpu: bool = False
+    queue_wait: float = 0.0
+    notes: str = ""
+
+
+class SubmissionSystem:
+    """Abstract comparison target."""
+
+    name: str = ""
+
+    #: Static facts a probe cannot synthesise from behaviour alone.
+    remote_accessible_without_hardware: bool = False
+
+    def submit(self, job: BaselineJob) -> SubmissionOutcome:
+        raise NotImplementedError
+
+    def add_capacity(self, units: int) -> int:
+        """Try to add ``units`` of execution capacity; returns added."""
+        return 0
+
+    def capacity(self) -> int:
+        raise NotImplementedError
+
+    def grading_run(self, job: BaselineJob) -> SubmissionOutcome:
+        """How a *graded* run happens on this system (uniformity probe).
+
+        Default: the same as a normal submission — i.e. whatever the
+        student's environment did, grading inherits.
+        """
+        return self.submit(job)

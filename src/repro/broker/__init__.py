@@ -1,0 +1,35 @@
+"""NSQ-style publish/subscribe message broker.
+
+The paper's clients and workers "connect and subscribe to different queues
+on the broker ... using a publish/subscribe communication pattern" (§IV).
+The broker is organised exactly as described in §V ("Message Broker
+Operations"):
+
+- a **topic** fans each published message out to every **channel**;
+- within a channel, each message is delivered to exactly one subscribed
+  consumer (competing-consumers queue semantics);
+- routes are written ``topic_name/channel_name``;
+- job logs flow through **ephemeral** topics named ``log_${job_id}`` that
+  are deleted once they have no producers and no consumers.
+
+Messages must be acknowledged; un-acked messages can be requeued with an
+attempt budget, after which they are dead-lettered rather than lost.
+"""
+
+from repro.broker.message import Message, new_message_id
+from repro.broker.routes import Route, parse_route
+from repro.broker.topic import Topic, Channel
+from repro.broker.broker import MessageBroker
+from repro.broker.client import Producer, Consumer
+
+__all__ = [
+    "Message",
+    "new_message_id",
+    "Route",
+    "parse_route",
+    "Topic",
+    "Channel",
+    "MessageBroker",
+    "Producer",
+    "Consumer",
+]

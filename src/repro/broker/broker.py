@@ -1,0 +1,131 @@
+"""The message broker."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.broker.message import Message
+from repro.broker.routes import Route, parse_route, validate_name
+from repro.broker.topic import Channel, Topic
+from repro.errors import MessageTooLarge, UnknownTopic
+from repro.sim.monitor import Counter
+
+
+class MessageBroker:
+    """Arbitrates communication between clients and workers (paper §IV).
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel the broker lives on.
+    max_message_bytes:
+        Publish-size limit; project archives do NOT travel through the
+        broker (they go to the file server), so job messages stay small.
+    default_max_attempts:
+        Redelivery budget before a message is dead-lettered.
+    """
+
+    #: Topics whose names start with this prefix are ephemeral log topics
+    #: (``log_${job_id}`` in the paper).
+    EPHEMERAL_PREFIX = "log_"
+
+    def __init__(self, sim, max_message_bytes: int = 1 << 20,
+                 default_max_attempts: int = 5):
+        self.sim = sim
+        self.max_message_bytes = max_message_bytes
+        self.default_max_attempts = default_max_attempts
+        self.topics: Dict[str, Topic] = {}
+        self.counters = Counter()
+        self.total_bytes_published = 0
+
+    # -- topology ------------------------------------------------------------
+
+    def topic(self, name: str, ephemeral: Optional[bool] = None) -> Topic:
+        """Get or create a topic.
+
+        Ephemerality defaults from the ``log_`` naming convention but can be
+        forced either way.
+        """
+        validate_name(name, "topic")
+        t = self.topics.get(name)
+        if t is None:
+            if ephemeral is None:
+                ephemeral = name.startswith(self.EPHEMERAL_PREFIX)
+            t = Topic(self.sim, name, ephemeral=ephemeral,
+                      max_attempts=self.default_max_attempts,
+                      on_empty=self._reap_topic)
+            self.topics[name] = t
+            self.counters.incr("topics_created")
+        return t
+
+    def has_topic(self, name: str) -> bool:
+        return name in self.topics
+
+    def channel(self, route: str) -> Channel:
+        """Get or create the channel for a ``topic/channel`` route."""
+        r = parse_route(route) if not isinstance(route, Route) else route
+        return self.topic(r.topic).channel(r.channel)
+
+    def delete_topic(self, name: str) -> None:
+        if name not in self.topics:
+            raise UnknownTopic(name)
+        del self.topics[name]
+        self.counters.incr("topics_deleted")
+
+    def _reap_topic(self, topic: Topic) -> None:
+        if topic.name in self.topics and topic.depth == 0:
+            del self.topics[topic.name]
+            self.counters.incr("topics_reaped")
+
+    # -- data plane ------------------------------------------------------------
+
+    def publish(self, topic_name: str, body) -> Message:
+        """Publish a JSON-serialisable body; returns the stored message."""
+        try:
+            size = len(json.dumps(body).encode("utf-8"))
+        except (TypeError, ValueError) as exc:
+            raise TypeError(f"message body is not JSON-serialisable: {exc}") from exc
+        if size > self.max_message_bytes:
+            raise MessageTooLarge(
+                f"{size} bytes exceeds limit of {self.max_message_bytes}")
+        msg = Message(topic_name, body, timestamp=self.sim.now)
+        self.topic(topic_name).publish(msg)
+        self.counters.incr("messages_published")
+        self.total_bytes_published += size
+        return msg
+
+    # -- resiliency ------------------------------------------------------------
+
+    def requeue_stale(self, in_flight_timeout: float) -> int:
+        """One sweep over every channel; returns requeued count."""
+        total = 0
+        for topic in list(self.topics.values()):
+            for channel in topic.channels.values():
+                total += channel.requeue_stale(in_flight_timeout)
+        if total:
+            self.counters.incr("stale_requeued", total)
+        return total
+
+    def caretaker(self, interval: float = 60.0,
+                  in_flight_timeout: float = 2 * 3600.0):
+        """Kernel process sweeping for abandoned in-flight messages.
+
+        The default timeout sits above the 1-hour container lifetime cap,
+        so only genuinely dead consumers trigger redelivery.
+        """
+        while True:
+            yield self.sim.timeout(interval)
+            self.requeue_stale(in_flight_timeout)
+
+    # -- observability ------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "topics": {name: t.stats() for name, t in self.topics.items()},
+            "counters": self.counters.as_dict(),
+            "bytes_published": self.total_bytes_published,
+        }
+
+    def total_depth(self) -> int:
+        return sum(t.depth for t in self.topics.values())

@@ -1,0 +1,93 @@
+"""Producer / consumer handles over the broker.
+
+These are the objects RAI clients and workers hold.  A :class:`Consumer`
+registers itself on a channel (keeping ephemeral topics alive) and exposes
+``get`` / ``ack`` / ``requeue``; a :class:`Producer` pins a topic so the
+broker's garbage collector will not reap it mid-stream.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.broker.broker import MessageBroker
+from repro.broker.message import Message
+from repro.broker.routes import parse_route
+
+
+class Producer:
+    """A publishing handle that pins its topic while open."""
+
+    def __init__(self, broker: MessageBroker, topic_name: str):
+        self.broker = broker
+        self.topic_name = topic_name
+        self._topic = broker.topic(topic_name)
+        self._topic.producer_count += 1
+        self._closed = False
+
+    def publish(self, body) -> Message:
+        if self._closed:
+            raise RuntimeError("producer is closed")
+        return self.broker.publish(self.topic_name, body)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._topic.producer_count -= 1
+            self._topic._maybe_reap()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+class Consumer:
+    """A subscribing handle over one ``topic/channel`` route."""
+
+    def __init__(self, broker: MessageBroker, route: str,
+                 filter: Optional[Callable[[Message], bool]] = None):
+        self.broker = broker
+        self.route = parse_route(route)
+        self._channel = broker.channel(route)
+        self._channel.subscriber_count += 1
+        self._filter = filter
+        self._closed = False
+
+    @property
+    def channel(self):
+        return self._channel
+
+    def get(self):
+        """Event that fires with the next message for this consumer.
+
+        Usage inside a process: ``msg = yield consumer.get()``.
+        """
+        if self._closed:
+            raise RuntimeError("consumer is closed")
+        if self._filter is None:
+            return self._channel.deliver()
+        evt = self._channel.get(filter=lambda m: self._filter(m))
+        evt.callbacks.insert(0, self._channel._on_deliver)
+        return evt
+
+    def ack(self, message: Message) -> None:
+        self._channel.ack(message)
+
+    def requeue(self, message: Message) -> bool:
+        return self._channel.requeue(message)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._channel.subscriber_count -= 1
+            self._channel.topic._maybe_reap()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

@@ -1,0 +1,56 @@
+"""Message envelopes."""
+
+from __future__ import annotations
+
+import itertools
+import json
+from typing import Any, Optional
+
+_id_counter = itertools.count(1)
+
+
+def new_message_id() -> str:
+    """Process-unique, deterministic message ids (``msg-000001`` ...)."""
+    return f"msg-{next(_id_counter):06d}"
+
+
+def reset_message_ids() -> None:
+    """Restart the id sequence (test isolation helper)."""
+    global _id_counter
+    _id_counter = itertools.count(1)
+
+
+class Message:
+    """A broker message.
+
+    ``body`` must be JSON-serialisable — the broker enforces this at publish
+    time so that the simulated system cannot accidentally depend on sharing
+    live Python objects between "machines", which a real deployment could
+    never do.
+    """
+
+    __slots__ = ("id", "topic", "body", "timestamp", "attempts",
+                 "delivered_at", "_channel")
+
+    def __init__(self, topic: str, body: Any, timestamp: float,
+                 message_id: Optional[str] = None):
+        self.id = message_id or new_message_id()
+        self.topic = topic
+        self.body = body
+        self.timestamp = float(timestamp)
+        self.attempts = 0
+        #: Simulated time of the most recent delivery (None before first).
+        self.delivered_at: Optional[float] = None
+        self._channel = None  # set on delivery; used by ack/requeue
+
+    def encoded_size(self) -> int:
+        """Size of the JSON encoding in bytes (for size limits and stats)."""
+        return len(json.dumps(self.body).encode("utf-8"))
+
+    def copy_for_channel(self) -> "Message":
+        """Per-channel copy (topics fan out; channels own delivery state)."""
+        clone = Message(self.topic, self.body, self.timestamp, self.id)
+        return clone
+
+    def __repr__(self):
+        return f"<Message {self.id} topic={self.topic!r} attempts={self.attempts}>"

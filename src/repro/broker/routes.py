@@ -1,0 +1,42 @@
+"""Route parsing: ``topic_name/channel_name`` (paper §V notation)."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import BrokerError
+
+#: Topic/channel names: word characters, dots, dashes; NSQ-style optional
+#: ``#ephemeral``-like marker is expressed with a leading ``#`` on channels.
+_NAME_RE = re.compile(r"^#?[\w.$-]+$")
+
+
+@dataclass(frozen=True)
+class Route:
+    """A parsed ``topic/channel`` pair."""
+
+    topic: str
+    channel: str
+
+    def __str__(self):
+        return f"{self.topic}/{self.channel}"
+
+    @property
+    def channel_is_ephemeral(self) -> bool:
+        return self.channel.startswith("#")
+
+
+def validate_name(name: str, kind: str = "name") -> str:
+    if not _NAME_RE.match(name or ""):
+        raise BrokerError(f"invalid {kind}: {name!r}")
+    return name
+
+
+def parse_route(route: str) -> Route:
+    """Parse ``"topic/channel"``; channel defaults to ``#default``."""
+    if "/" in route:
+        topic, channel = route.split("/", 1)
+    else:
+        topic, channel = route, "#default"
+    return Route(validate_name(topic, "topic"), validate_name(channel, "channel"))

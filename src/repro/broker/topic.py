@@ -1,0 +1,172 @@
+"""Topics and channels."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.broker.message import Message
+from repro.sim.resources import Store
+
+
+class Channel(Store):
+    """A competing-consumers queue inside a topic.
+
+    Extends the kernel :class:`~repro.sim.resources.Store` with delivery
+    bookkeeping: in-flight tracking, acknowledgement, requeueing with an
+    attempt budget, and a dead-letter list (messages are never silently
+    lost — resilience is one of the broker's two stated jobs, §IV).
+    """
+
+    def __init__(self, sim, topic: "Topic", name: str,
+                 max_attempts: int = 5):
+        super().__init__(sim)
+        self.topic = topic
+        self.name = name
+        self.max_attempts = max_attempts
+        self.in_flight: Dict[str, Message] = {}
+        self.dead_letters: List[Message] = []
+        self.subscriber_count = 0
+        self.total_delivered = 0
+        self.total_acked = 0
+        self.total_requeued = 0
+
+    @property
+    def depth(self) -> int:
+        """Queued (not yet delivered) message count."""
+        return len(self.items)
+
+    def deliver(self) -> "StoreGetWrapper":
+        """Event yielding the next message; marks it in-flight on fire."""
+        get_event = self.get()
+        get_event.callbacks.insert(0, self._on_deliver)
+        return get_event
+
+    def _on_deliver(self, event) -> None:
+        msg: Message = event.value
+        if msg is None:
+            # The get was cancelled (consumer shut down) before a message
+            # arrived; nothing to mark in-flight.
+            return
+        msg.attempts += 1
+        msg.delivered_at = self.sim.now
+        msg._channel = self
+        self.in_flight[msg.id] = msg
+        self.total_delivered += 1
+
+    def ack(self, message: Message) -> None:
+        self.in_flight.pop(message.id, None)
+        self.total_acked += 1
+        self.topic._maybe_reap()
+
+    def requeue(self, message: Message) -> bool:
+        """Return the message to the queue; dead-letter if out of attempts.
+
+        Returns True if requeued, False if dead-lettered.
+        """
+        self.in_flight.pop(message.id, None)
+        if message.attempts >= self.max_attempts:
+            self.dead_letters.append(message)
+            return False
+        self.total_requeued += 1
+        self.put(message)
+        return True
+
+    def requeue_stale(self, in_flight_timeout: float) -> int:
+        """Requeue messages delivered but not acked within the timeout.
+
+        This is the resiliency half of the broker's job (§IV): a consumer
+        that died mid-job (worker crash, instance termination) neither
+        acks nor requeues, so a caretaker sweep returns its messages to
+        the queue for redelivery — at-least-once semantics.
+        """
+        now = self.sim.now
+        stale = [msg for msg in self.in_flight.values()
+                 if msg.delivered_at is not None
+                 and now - msg.delivered_at >= in_flight_timeout]
+        for msg in stale:
+            self.requeue(msg)
+        return len(stale)
+
+    def stats(self) -> dict:
+        return {
+            "route": f"{self.topic.name}/{self.name}",
+            "depth": self.depth,
+            "in_flight": len(self.in_flight),
+            "subscribers": self.subscriber_count,
+            "delivered": self.total_delivered,
+            "acked": self.total_acked,
+            "requeued": self.total_requeued,
+            "dead_letters": len(self.dead_letters),
+        }
+
+
+class Topic:
+    """A named fan-out point.
+
+    Messages published to a topic are copied to every channel.  Messages
+    published while a topic has *no* channels are buffered in the topic
+    backlog and flushed to the first channel created — so a worker's first
+    log lines are not lost if the client has not subscribed yet (the paper's
+    worker creates ``log_${job_id}`` then immediately starts streaming).
+    """
+
+    def __init__(self, sim, name: str, ephemeral: bool = False,
+                 max_attempts: int = 5, on_empty=None):
+        self.sim = sim
+        self.name = name
+        self.ephemeral = ephemeral
+        self.max_attempts = max_attempts
+        self.channels: Dict[str, Channel] = {}
+        self.backlog: Deque[Message] = deque()
+        self.producer_count = 0
+        self.total_published = 0
+        #: Callback invoked when an ephemeral topic becomes garbage.
+        self._on_empty = on_empty
+
+    def channel(self, name: str) -> Channel:
+        ch = self.channels.get(name)
+        if ch is None:
+            ch = Channel(self.sim, self, name, max_attempts=self.max_attempts)
+            self.channels[name] = ch
+            if len(self.channels) == 1:
+                while self.backlog:
+                    ch.put(self.backlog.popleft())
+        return ch
+
+    def publish(self, message: Message) -> None:
+        self.total_published += 1
+        if not self.channels:
+            self.backlog.append(message)
+            return
+        for ch in self.channels.values():
+            ch.put(message.copy_for_channel())
+
+    @property
+    def depth(self) -> int:
+        return len(self.backlog) + sum(c.depth for c in self.channels.values())
+
+    def is_garbage(self) -> bool:
+        """True when an ephemeral topic can be reaped (paper §V: "both the
+        topic and channel are deleted if there are no producers and
+        consumers")."""
+        if not self.ephemeral:
+            return False
+        if self.producer_count > 0:
+            return False
+        if any(c.subscriber_count > 0 for c in self.channels.values()):
+            return False
+        return True
+
+    def _maybe_reap(self) -> None:
+        if self.is_garbage() and self._on_empty is not None:
+            self._on_empty(self)
+
+    def stats(self) -> dict:
+        return {
+            "name": self.name,
+            "ephemeral": self.ephemeral,
+            "published": self.total_published,
+            "depth": self.depth,
+            "channels": {n: c.stats() for n, c in self.channels.items()},
+        }

@@ -1,0 +1,33 @@
+"""Elastic worker provisioning and cost accounting.
+
+§VII ("Resource Usage") describes the course's provisioning story: cheap
+AWS G2 instances (K40-class GPUs, multiple jobs in flight) while students
+worked with the CPU baseline, a transition to P2 instances (K80) as GPU
+implementations matured, 10 instances with multiple pending submissions
+mid-project, and 20–30 single-job P2 instances during the benchmark-heavy
+final week.  "Students worked in bursts, which required RAI to be elastic
+to remain reliable and cost-efficient."
+
+This subpackage provides instance types with hourly prices, a provisioner
+that turns instances into RAI workers (with boot delay), the course's
+manual schedule, a reactive queue-depth autoscaler, and cost/utilisation
+accounting.
+"""
+
+from repro.cluster.instance import InstanceType, INSTANCE_CATALOG, get_instance_type
+from repro.cluster.provisioner import Provisioner, ProvisionedInstance
+from repro.cluster.elasticity import Autoscaler, AutoscalerPolicy, ManualSchedule, SchedulePhase
+from repro.cluster.metrics import CostReport
+
+__all__ = [
+    "InstanceType",
+    "INSTANCE_CATALOG",
+    "get_instance_type",
+    "Provisioner",
+    "ProvisionedInstance",
+    "Autoscaler",
+    "AutoscalerPolicy",
+    "ManualSchedule",
+    "SchedulePhase",
+    "CostReport",
+]

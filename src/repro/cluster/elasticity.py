@@ -1,0 +1,157 @@
+"""Scaling policies: the course's manual schedule, and a reactive
+queue-depth autoscaler ("RAI can also be configured to scale out to remote
+cloud instances as local resources [are] exhausted", §IV)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cluster.provisioner import Provisioner
+
+
+@dataclass(frozen=True)
+class SchedulePhase:
+    """One phase of a manual provisioning plan."""
+
+    start_time: float              # seconds from schedule start
+    instance_type: str
+    count: int
+    max_concurrent_jobs: int = 1
+    label: str = ""
+
+
+class ManualSchedule:
+    """The course's hand-driven plan (§VII, Resource Usage):
+
+    1. early weeks — a few cheap G2 (K40) boxes, one job at a time, while
+       students experiment with the slow CPU baseline;
+    2. mid-project — 10 P2 (K80) instances, multiple pending submissions
+       each, for interactive response;
+    3. final week — 20–30 single-job P2 instances for accurate timing.
+    """
+
+    @staticmethod
+    def course_default(day: float = 24 * 3600.0,
+                       final_week_count: int = 25) -> List[SchedulePhase]:
+        return [
+            SchedulePhase(0.0, "g2.2xlarge", 4, max_concurrent_jobs=1,
+                          label="baseline experimentation (G2/K40)"),
+            SchedulePhase(14 * day, "p2.xlarge", 10, max_concurrent_jobs=4,
+                          label="development (P2/K80, multi-job)"),
+            SchedulePhase(28 * day, "p2.xlarge", final_week_count,
+                          max_concurrent_jobs=1,
+                          label="benchmarking week (P2/K80, single-job)"),
+        ]
+
+    def __init__(self, provisioner: Provisioner,
+                 phases: Optional[List[SchedulePhase]] = None):
+        self.provisioner = provisioner
+        self.sim = provisioner.sim
+        self.phases = sorted(phases or self.course_default(),
+                             key=lambda p: p.start_time)
+        self.applied: List[SchedulePhase] = []
+
+    def run(self):
+        """Kernel process applying each phase at its start time."""
+        origin = self.sim.now
+        for phase in self.phases:
+            wait = origin + phase.start_time - self.sim.now
+            if wait > 0:
+                yield self.sim.timeout(wait)
+            self._apply(phase)
+
+    def _apply(self, phase: SchedulePhase) -> None:
+        # Replace the current fleet with the phase's fleet.
+        self.provisioner.terminate_all()
+        self.provisioner.launch_many(
+            phase.count, instance_type=phase.instance_type,
+            max_concurrent_jobs=phase.max_concurrent_jobs)
+        self.applied.append(phase)
+
+
+@dataclass
+class AutoscalerPolicy:
+    """Reactive scaling knobs."""
+
+    min_instances: int = 1
+    max_instances: int = 30
+    #: Scale out when queued jobs per live worker exceed this.
+    scale_out_per_worker: float = 2.0
+    #: Scale in when the whole queue is below this and utilisation is low.
+    scale_in_queue_depth: int = 0
+    scale_in_idle_fraction: float = 0.5
+    check_interval: float = 60.0
+    instance_type: str = "p2.xlarge"
+    max_concurrent_jobs: int = 1
+    #: Instances added per scale-out decision.
+    step: int = 2
+    #: Minimum seconds between scale-in actions (billing hysteresis).
+    scale_in_cooldown: float = 1800.0
+
+
+class Autoscaler:
+    """Periodically sizes the fleet to the task-queue depth."""
+
+    def __init__(self, system, provisioner: Provisioner,
+                 policy: Optional[AutoscalerPolicy] = None):
+        self.system = system
+        self.provisioner = provisioner
+        self.policy = policy or AutoscalerPolicy()
+        self.sim = system.sim
+        self.decisions: List[dict] = []
+        self._last_scale_in = -float("inf")
+        self._stopped = False
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def run(self):
+        """Kernel process: evaluate the policy every ``check_interval``."""
+        policy = self.policy
+        while not self._stopped:
+            self._ensure_minimum()
+            depth = self.system.queue_depth()
+            live = [i for i in self.provisioner.live_instances]
+            n_live = len(live)
+            workers = [i.worker for i in live if i.worker is not None]
+            active = sum(w.active_jobs for w in workers)
+            capacity = sum(w.config.max_concurrent_jobs for w in workers)
+
+            if n_live < policy.max_instances and n_live > 0 and \
+                    depth > policy.scale_out_per_worker * n_live:
+                add = min(policy.step, policy.max_instances - n_live)
+                self.provisioner.launch_many(
+                    add, instance_type=policy.instance_type,
+                    max_concurrent_jobs=policy.max_concurrent_jobs)
+                self._decide("scale-out", add, depth, n_live)
+            elif (n_live > policy.min_instances
+                  and depth <= policy.scale_in_queue_depth
+                  and capacity > 0
+                  and active / capacity <= 1 - policy.scale_in_idle_fraction
+                  and self.sim.now - self._last_scale_in
+                  >= policy.scale_in_cooldown):
+                remove = min(policy.step, n_live - policy.min_instances)
+                removed = self.provisioner.terminate_count(remove)
+                if removed:
+                    self._last_scale_in = self.sim.now
+                    self._decide("scale-in", removed, depth, n_live)
+            yield self.sim.timeout(policy.check_interval)
+
+    def _ensure_minimum(self) -> None:
+        deficit = self.policy.min_instances - len(self.provisioner.live_instances)
+        if deficit > 0:
+            self.provisioner.launch_many(
+                deficit, instance_type=self.policy.instance_type,
+                max_concurrent_jobs=self.policy.max_concurrent_jobs)
+            self._decide("ensure-min", deficit, self.system.queue_depth(), 0)
+
+    def _decide(self, action: str, count: int, depth: int,
+                n_live: int) -> None:
+        self.decisions.append({
+            "t": self.sim.now,
+            "action": action,
+            "count": count,
+            "queue_depth": depth,
+            "live_before": n_live,
+        })

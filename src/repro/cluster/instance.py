@@ -1,0 +1,35 @@
+"""Cloud instance types (2016-era AWS GPU instances)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """A rentable machine shape."""
+
+    name: str
+    gpu_model: str          # key into repro.gpu.DEVICE_CATALOG
+    hourly_cost_usd: float
+    boot_seconds: float = 120.0
+    #: Worker link to the file server.
+    storage_bandwidth_bps: float = 200e6
+
+
+#: The two shapes the course used (§VII), at 2016 on-demand prices.
+INSTANCE_CATALOG: Dict[str, InstanceType] = {
+    "g2.2xlarge": InstanceType(name="g2.2xlarge", gpu_model="K40",
+                               hourly_cost_usd=0.65, boot_seconds=150.0),
+    "p2.xlarge": InstanceType(name="p2.xlarge", gpu_model="K80",
+                              hourly_cost_usd=0.90, boot_seconds=120.0),
+}
+
+
+def get_instance_type(name: str) -> InstanceType:
+    try:
+        return INSTANCE_CATALOG[name]
+    except KeyError:
+        raise KeyError(f"unknown instance type {name!r}; "
+                       f"known: {sorted(INSTANCE_CATALOG)}") from None

@@ -1,0 +1,49 @@
+"""Cost and utilisation accounting for a provisioned fleet."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cluster.provisioner import Provisioner
+
+
+@dataclass
+class CostReport:
+    """A snapshot of fleet economics."""
+
+    total_cost_usd: float
+    instance_hours: float
+    instances_launched: int
+    instances_live: int
+    mean_utilization: float
+    jobs_completed: int
+
+    @staticmethod
+    def collect(provisioner: Provisioner) -> "CostReport":
+        now = provisioner.sim.now
+        hours = 0.0
+        utils: List[float] = []
+        jobs = 0
+        for inst in provisioner.instances:
+            end = inst.terminated_at if inst.terminated_at is not None else now
+            hours += max(0.0, end - inst.launched_at) / 3600.0
+            if inst.worker is not None:
+                utils.append(inst.worker.utilization())
+                jobs += inst.worker.jobs_completed + inst.worker.jobs_failed
+        return CostReport(
+            total_cost_usd=provisioner.total_cost(),
+            instance_hours=hours,
+            instances_launched=len(provisioner.instances),
+            instances_live=len(provisioner.live_instances),
+            mean_utilization=sum(utils) / len(utils) if utils else 0.0,
+            jobs_completed=jobs,
+        )
+
+    def render(self) -> str:
+        return (f"fleet: {self.instances_launched} launched, "
+                f"{self.instances_live} live; "
+                f"{self.instance_hours:.1f} instance-hours, "
+                f"${self.total_cost_usd:.2f}; "
+                f"utilization {self.mean_utilization:.0%}; "
+                f"{self.jobs_completed} jobs")

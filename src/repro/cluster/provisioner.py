@@ -1,0 +1,104 @@
+"""Turning cloud instances into RAI workers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cluster.instance import InstanceType, get_instance_type
+from repro.core.config import WorkerConfig
+
+
+@dataclass
+class ProvisionedInstance:
+    """One leased machine and the worker running on it."""
+
+    instance_type: InstanceType
+    launched_at: float
+    worker: object = None           # RaiWorker once booted
+    terminated_at: Optional[float] = None
+    boot_process: object = None
+
+    def cost_until(self, now: float) -> float:
+        """Accrued cost; cloud billing is per (partial) hour."""
+        end = self.terminated_at if self.terminated_at is not None else now
+        hours = max(0.0, end - self.launched_at) / 3600.0
+        import math
+
+        billed = max(1.0, math.ceil(hours)) if hours > 0 else 0.0
+        return billed * self.instance_type.hourly_cost_usd
+
+    @property
+    def is_live(self) -> bool:
+        return self.terminated_at is None
+
+
+class Provisioner:
+    """Launches and terminates instances against a :class:`RaiSystem`."""
+
+    def __init__(self, system):
+        self.system = system
+        self.sim = system.sim
+        self.instances: List[ProvisionedInstance] = []
+
+    # -- scale out ------------------------------------------------------------
+
+    def launch(self, instance_type: str = "p2.xlarge",
+               max_concurrent_jobs: int = 1,
+               boot_delay: Optional[float] = None) -> ProvisionedInstance:
+        """Lease an instance; its worker joins the pool after boot."""
+        itype = get_instance_type(instance_type)
+        inst = ProvisionedInstance(instance_type=itype,
+                                   launched_at=self.sim.now)
+        delay = itype.boot_seconds if boot_delay is None else boot_delay
+
+        def boot():
+            yield self.sim.timeout(delay)
+            if inst.terminated_at is not None:
+                return  # terminated while booting
+            config = WorkerConfig(
+                max_concurrent_jobs=max_concurrent_jobs,
+                gpu_model=itype.gpu_model,
+                storage_bandwidth_bps=itype.storage_bandwidth_bps,
+            )
+            inst.worker = self.system.add_worker(config)
+
+        inst.boot_process = self.sim.process(boot())
+        self.instances.append(inst)
+        return inst
+
+    def launch_many(self, count: int, **kwargs) -> List[ProvisionedInstance]:
+        return [self.launch(**kwargs) for _ in range(count)]
+
+    # -- scale in ------------------------------------------------------------
+
+    def terminate(self, instance: ProvisionedInstance) -> None:
+        if instance.terminated_at is not None:
+            return
+        instance.terminated_at = self.sim.now
+        if instance.worker is not None:
+            self.system.remove_worker(instance.worker)
+
+    def terminate_count(self, count: int) -> int:
+        """Terminate up to ``count`` live instances (idle-first)."""
+        live = [i for i in self.instances if i.is_live and i.worker is not None]
+        live.sort(key=lambda i: i.worker.active_jobs)
+        terminated = 0
+        for inst in live[:count]:
+            self.terminate(inst)
+            terminated += 1
+        return terminated
+
+    def terminate_all(self) -> None:
+        for inst in self.instances:
+            self.terminate(inst)
+
+    # -- observability ------------------------------------------------------
+
+    @property
+    def live_instances(self) -> List[ProvisionedInstance]:
+        return [i for i in self.instances if i.is_live]
+
+    def total_cost(self, now: Optional[float] = None) -> float:
+        now = self.sim.now if now is None else now
+        return sum(i.cost_until(now) for i in self.instances)

@@ -1,0 +1,39 @@
+"""Docker-like sandboxed container runtime.
+
+"All student execution commands, specified within the rai-build.yaml, are
+performed within a Docker container" (§V, Container Execution).  The
+security contract the paper states — and this runtime enforces — is:
+
+- the base image must come from a **whitelist** chosen by the staff;
+- the container gets **no network access**;
+- memory is capped (**8 GB** by default);
+- the container has a **maximum lifetime of 1 hour**;
+- a fresh container is started per job and destroyed afterwards;
+- the student project is mounted **read-only at /src**; the working
+  directory is a writable **/build**; the CUDA volume exposes the GPU.
+
+Inside the container, commands run under a small POSIX-flavoured guest
+shell (:mod:`repro.container.shell`) against the job's virtual filesystem,
+with a registry of guest programs (:mod:`repro.container.commands`)
+covering the coreutils, the CMake/Make toolchain, ``/usr/bin/time``,
+``nvprof``, and the course's ``ece408`` CNN binary.
+"""
+
+from repro.container.limits import ResourceLimits
+from repro.container.image import Image, ImageRegistry, default_registry
+from repro.container.volumes import VolumeMount, cuda_volume
+from repro.container.container import Container, ContainerState, ExecResult
+from repro.container.runtime import ContainerRuntime
+
+__all__ = [
+    "ResourceLimits",
+    "Image",
+    "ImageRegistry",
+    "default_registry",
+    "VolumeMount",
+    "cuda_volume",
+    "Container",
+    "ContainerState",
+    "ExecResult",
+    "ContainerRuntime",
+]

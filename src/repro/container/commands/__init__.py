@@ -1,0 +1,77 @@
+"""Guest command registry.
+
+Two registries exist:
+
+- **commands** — looked up by name from the shell (``echo``, ``cmake``,
+  ``make``, ``time``, ``nvprof``, the coreutils);
+- **programs** — executable files whose content starts with
+  ``#!rai-exec NAME`` (the ``ece408`` binary that ``make`` produces,
+  ``nvidia-smi`` from the CUDA volume).
+
+Both kinds receive an :class:`~repro.container.container.ExecContext` and
+must account for simulated time via ``ctx.charge`` and memory via
+``ctx.use_memory``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.container.commands.base import GuestCommand, GuestProgram
+
+_COMMANDS: Dict[str, GuestCommand] = {}
+_PROGRAMS: Dict[str, GuestProgram] = {}
+
+
+def register_command(command: GuestCommand) -> GuestCommand:
+    _COMMANDS[command.name] = command
+    return command
+
+
+def register_program(program: GuestProgram) -> GuestProgram:
+    _PROGRAMS[program.name] = program
+    return program
+
+
+def lookup_command(name: str) -> Optional[GuestCommand]:
+    _ensure_loaded()
+    return _COMMANDS.get(name)
+
+
+def lookup_program(name: str) -> Optional[GuestProgram]:
+    _ensure_loaded()
+    return _PROGRAMS.get(name)
+
+
+def command_names():
+    _ensure_loaded()
+    return sorted(_COMMANDS)
+
+
+_loaded = False
+
+
+def _ensure_loaded() -> None:
+    global _loaded
+    if _loaded:
+        return
+    _loaded = True
+    # Importing these modules runs their registration side effects.
+    from repro.container.commands import (  # noqa: F401
+        build,
+        coreutils,
+        ece408,
+        nvprof,
+        timecmd,
+    )
+
+
+__all__ = [
+    "GuestCommand",
+    "GuestProgram",
+    "register_command",
+    "register_program",
+    "lookup_command",
+    "lookup_program",
+    "command_names",
+]

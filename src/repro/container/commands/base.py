@@ -1,0 +1,92 @@
+"""Guest command/program base classes and the student-code marker parser."""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+
+class GuestCommand:
+    """A named command invocable from the guest shell."""
+
+    name: str = ""
+
+    def run(self, ctx, args: List[str]) -> int:
+        raise NotImplementedError
+
+
+class GuestProgram:
+    """An executable produced inside the container (``#!rai-exec`` files).
+
+    ``config`` is the JSON payload embedded in the executable by whatever
+    built it (for ``ece408``: the characteristics ``make`` extracted from
+    the student sources).
+    """
+
+    name: str = ""
+
+    def run(self, ctx, args: List[str], config: dict) -> int:
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------------
+# Student-source markers
+# --------------------------------------------------------------------------
+#
+# Real student CUDA cannot execute here, so a project's behavioural
+# characteristics are declared in its sources with a marker comment:
+#
+#     // @rai-sim quality=0.85 impl=analytic correctness=1.0
+#
+# Recognised keys:
+#   quality      float [0,1] — optimisation level (DESIGN.md substitution)
+#   impl         "analytic" | "reference" | "im2col"
+#   correctness  float [0,1] — achieved accuracy fraction on the dataset
+#   compile      "ok" | "error"
+#   runtime      "ok" | "crash" | "hang"
+#   mem_gb       float — peak device+host memory the program touches
+#   net          "none" | "phone-home" — whether it attempts network access
+
+_MARKER_RE = re.compile(r"@rai-sim\s+([^\n]*)")
+_KV_RE = re.compile(r"(\w+)=([^\s]+)")
+
+DEFAULT_PROFILE = {
+    "quality": 0.0,
+    "impl": "analytic",
+    "correctness": 1.0,
+    "compile": "ok",
+    "runtime": "ok",
+    "mem_gb": 2.0,
+    "net": "none",
+}
+
+_FLOAT_KEYS = {"quality", "correctness", "mem_gb"}
+
+
+def parse_source_markers(sources: Dict[str, str]) -> dict:
+    """Merge ``@rai-sim`` markers from all sources over the defaults."""
+    profile = dict(DEFAULT_PROFILE)
+    for _path in sorted(sources):
+        text = sources[_path]
+        for match in _MARKER_RE.finditer(text):
+            for key, value in _KV_RE.findall(match.group(1)):
+                if key not in profile:
+                    continue
+                if key in _FLOAT_KEYS:
+                    try:
+                        profile[key] = float(value)
+                    except ValueError:
+                        pass
+                else:
+                    profile[key] = value
+    profile["quality"] = max(0.0, min(1.0, profile["quality"]))
+    profile["correctness"] = max(0.0, min(1.0, profile["correctness"]))
+    return profile
+
+
+def make_executable_blob(program: str, config: dict) -> bytes:
+    """Content of a ``#!rai-exec`` executable file."""
+    import json
+
+    return (f"#!rai-exec {program}\n" + json.dumps(config, sort_keys=True)
+            ).encode("utf-8")

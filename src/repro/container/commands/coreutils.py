@@ -1,0 +1,307 @@
+"""Coreutils-flavoured guest commands."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.container.commands import register_command
+from repro.container.commands.base import GuestCommand
+from repro.errors import ReadOnlyFilesystem, VfsError
+from repro.vfs.path import join as path_join
+
+#: Simulated cost of a trivial process spawn.
+TRIVIAL_SECONDS = 0.002
+
+
+class Echo(GuestCommand):
+    name = "echo"
+
+    def run(self, ctx, args: List[str]) -> int:
+        ctx.charge(TRIVIAL_SECONDS)
+        newline = True
+        if args and args[0] == "-n":
+            newline = False
+            args = args[1:]
+        ctx.write_out(" ".join(args) + ("\n" if newline else ""))
+        return 0
+
+
+class Cat(GuestCommand):
+    name = "cat"
+
+    def run(self, ctx, args: List[str]) -> int:
+        ctx.charge(TRIVIAL_SECONDS)
+        if not args:
+            return 0
+        code = 0
+        for arg in args:
+            path = path_join(ctx.cwd, arg)
+            if not ctx.fs.isfile(path):
+                ctx.write_err(f"cat: {arg}: No such file or directory\n")
+                code = 1
+                continue
+            data = ctx.fs.read_file(path)
+            try:
+                ctx.write_out(data.decode("utf-8"))
+            except UnicodeDecodeError:
+                ctx.write_out(data.decode("latin-1"))
+        return code
+
+
+class Ls(GuestCommand):
+    name = "ls"
+
+    def run(self, ctx, args: List[str]) -> int:
+        ctx.charge(TRIVIAL_SECONDS)
+        targets = [a for a in args if not a.startswith("-")] or ["."]
+        long_format = any(a in ("-l", "-la", "-al") for a in args)
+        code = 0
+        for target in targets:
+            path = path_join(ctx.cwd, target)
+            if ctx.fs.isdir(path):
+                for name in ctx.fs.listdir(path):
+                    if long_format:
+                        child = path_join(path, name)
+                        st = ctx.fs.stat(child)
+                        size = st.get("size", 0)
+                        kind = "d" if st["type"] == "dir" else "-"
+                        ctx.write_out(f"{kind} {size:>10} {name}\n")
+                    else:
+                        ctx.write_out(name + "\n")
+            elif ctx.fs.isfile(path):
+                ctx.write_out(target + "\n")
+            else:
+                ctx.write_err(f"ls: cannot access '{target}'\n")
+                code = 2
+        return code
+
+
+class Cp(GuestCommand):
+    name = "cp"
+
+    def run(self, ctx, args: List[str]) -> int:
+        ctx.charge(TRIVIAL_SECONDS)
+        recursive = False
+        positional = []
+        for arg in args:
+            if arg in ("-r", "-R", "-a", "-rf"):
+                recursive = True
+            elif not arg.startswith("-"):
+                positional.append(arg)
+        if len(positional) < 2:
+            ctx.write_err("cp: missing file operand\n")
+            return 1
+        *sources, dest = positional
+        dest_path = path_join(ctx.cwd, dest)
+        code = 0
+        for src in sources:
+            src_path = path_join(ctx.cwd, src)
+            if ctx.fs.isdir(src_path) and not recursive:
+                ctx.write_err(f"cp: -r not specified; omitting directory '{src}'\n")
+                code = 1
+                continue
+            if not ctx.fs.exists(src_path):
+                ctx.write_err(f"cp: cannot stat '{src}': No such file or directory\n")
+                code = 1
+                continue
+            try:
+                # Charge proportional to bytes copied (5 GB/s page-cache rate).
+                size = (ctx.fs.tree_size(src_path) if ctx.fs.isdir(src_path)
+                        else ctx.fs.stat(src_path)["size"])
+                ctx.charge(size / 5e9)
+                ctx.fs.copy(src_path, dest_path)
+            except VfsError as exc:
+                ctx.write_err(f"cp: {exc}\n")
+                code = 1
+        return code
+
+
+class Mv(GuestCommand):
+    name = "mv"
+
+    def run(self, ctx, args: List[str]) -> int:
+        ctx.charge(TRIVIAL_SECONDS)
+        positional = [a for a in args if not a.startswith("-")]
+        if len(positional) != 2:
+            ctx.write_err("mv: expected source and destination\n")
+            return 1
+        src, dest = (path_join(ctx.cwd, p) for p in positional)
+        if not ctx.fs.exists(src):
+            ctx.write_err(f"mv: cannot stat '{positional[0]}'\n")
+            return 1
+        try:
+            ctx.fs.move(src, dest)
+        except VfsError as exc:
+            ctx.write_err(f"mv: {exc}\n")
+            return 1
+        return 0
+
+
+class Rm(GuestCommand):
+    name = "rm"
+
+    def run(self, ctx, args: List[str]) -> int:
+        ctx.charge(TRIVIAL_SECONDS)
+        recursive = force = False
+        positional = []
+        for arg in args:
+            if arg.startswith("-"):
+                recursive = recursive or "r" in arg or "R" in arg
+                force = force or "f" in arg
+            else:
+                positional.append(arg)
+        code = 0
+        for target in positional:
+            path = path_join(ctx.cwd, target)
+            try:
+                if ctx.fs.isdir(path):
+                    if not recursive:
+                        ctx.write_err(f"rm: cannot remove '{target}': Is a directory\n")
+                        code = 1
+                        continue
+                    ctx.fs.rmtree(path)
+                elif ctx.fs.isfile(path):
+                    ctx.fs.remove(path)
+                elif not force:
+                    ctx.write_err(f"rm: cannot remove '{target}': No such file\n")
+                    code = 1
+            except ReadOnlyFilesystem as exc:
+                # -f suppresses "no such file", never permission errors.
+                ctx.write_err(f"rm: cannot remove '{target}': "
+                              f"Read-only file system\n")
+                code = 1
+            except VfsError as exc:
+                if not force:
+                    ctx.write_err(f"rm: {exc}\n")
+                    code = 1
+        return code
+
+
+class Mkdir(GuestCommand):
+    name = "mkdir"
+
+    def run(self, ctx, args: List[str]) -> int:
+        ctx.charge(TRIVIAL_SECONDS)
+        parents = "-p" in args
+        code = 0
+        for target in (a for a in args if not a.startswith("-")):
+            path = path_join(ctx.cwd, target)
+            try:
+                ctx.fs.mkdir(path, parents=parents, exist_ok=parents)
+            except VfsError as exc:
+                ctx.write_err(f"mkdir: {exc}\n")
+                code = 1
+        return code
+
+
+class Touch(GuestCommand):
+    name = "touch"
+
+    def run(self, ctx, args: List[str]) -> int:
+        ctx.charge(TRIVIAL_SECONDS)
+        for target in (a for a in args if not a.startswith("-")):
+            path = path_join(ctx.cwd, target)
+            if not ctx.fs.exists(path):
+                ctx.fs.write_file(path, b"")
+        return 0
+
+
+class Pwd(GuestCommand):
+    name = "pwd"
+
+    def run(self, ctx, args: List[str]) -> int:
+        ctx.charge(TRIVIAL_SECONDS)
+        ctx.write_out(ctx.cwd + "\n")
+        return 0
+
+
+class Env(GuestCommand):
+    name = "env"
+
+    def run(self, ctx, args: List[str]) -> int:
+        ctx.charge(TRIVIAL_SECONDS)
+        for key in sorted(ctx.env):
+            ctx.write_out(f"{key}={ctx.env[key]}\n")
+        return 0
+
+
+class Sleep(GuestCommand):
+    name = "sleep"
+
+    def run(self, ctx, args: List[str]) -> int:
+        try:
+            seconds = float(args[0]) if args else 0.0
+        except ValueError:
+            ctx.write_err(f"sleep: invalid time interval '{args[0]}'\n")
+            return 1
+        # Sleeping burns container lifetime — this is how the 1-hour cap
+        # ablation provokes a timeout.
+        ctx.charge(seconds)
+        return 0
+
+
+class Hostname(GuestCommand):
+    name = "hostname"
+
+    def run(self, ctx, args: List[str]) -> int:
+        ctx.charge(TRIVIAL_SECONDS)
+        ctx.write_out(ctx.container.id + "\n")
+        return 0
+
+
+class Wget(GuestCommand):
+    """Network clients exist in the image but the sandbox denies them."""
+
+    name = "wget"
+
+    def run(self, ctx, args: List[str]) -> int:
+        ctx.charge(TRIVIAL_SECONDS)
+        ctx.require_network(purpose=f"wget {' '.join(args)}")
+        ctx.write_out("(download simulated)\n")
+        return 0
+
+
+class Curl(Wget):
+    name = "curl"
+
+
+class Wc(GuestCommand):
+    name = "wc"
+
+    def run(self, ctx, args: List[str]) -> int:
+        ctx.charge(TRIVIAL_SECONDS)
+        count_lines = "-l" in args
+        code = 0
+        for target in (a for a in args if not a.startswith("-")):
+            path = path_join(ctx.cwd, target)
+            if not ctx.fs.isfile(path):
+                ctx.write_err(f"wc: {target}: No such file or directory\n")
+                code = 1
+                continue
+            data = ctx.fs.read_file(path)
+            lines = data.count(b"\n")
+            if count_lines:
+                ctx.write_out(f"{lines} {target}\n")
+            else:
+                words = len(data.split())
+                ctx.write_out(f"{lines} {words} {len(data)} {target}\n")
+        return code
+
+
+class TrueCmd(GuestCommand):
+    name = "true"
+
+    def run(self, ctx, args: List[str]) -> int:
+        return 0
+
+
+class FalseCmd(GuestCommand):
+    name = "false"
+
+    def run(self, ctx, args: List[str]) -> int:
+        return 1
+
+
+for _cls in (Echo, Cat, Ls, Cp, Mv, Rm, Mkdir, Touch, Pwd, Env, Sleep,
+             Hostname, Wget, Curl, Wc, TrueCmd, FalseCmd):
+    register_command(_cls())

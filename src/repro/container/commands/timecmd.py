@@ -1,0 +1,39 @@
+"""``/usr/bin/time``: wraps a command and reports wall/user/sys to stderr.
+
+Listing 2 runs the graded submission under ``/usr/bin/time``; the paper
+records its output for instructors only while students see the program's
+internal timer (§V, Student Final Submission).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.container.commands import register_command
+from repro.container.commands.base import GuestCommand
+
+
+class TimeCommand(GuestCommand):
+    name = "time"
+
+    def run(self, ctx, args: List[str]) -> int:
+        # Skip GNU time's own flags (-v, -p, -o file is unsupported).
+        inner = list(args)
+        while inner and inner[0].startswith("-"):
+            inner.pop(0)
+        if not inner:
+            ctx.write_err("time: missing command\n")
+            return 125
+        before = ctx.container._context.charged_seconds
+        shell = ctx.container._shell
+        exit_code = shell._dispatch(ctx, inner[0], inner[1:])
+        wall = ctx.container._context.charged_seconds - before
+        # A CUDA job's host process spends most wall time blocked on the
+        # device; model user time as a small fraction plus overheads.
+        user = wall * 0.12
+        sys_time = wall * 0.03
+        ctx.write_err(f"{wall:.2f}real {user:.2f}user {sys_time:.2f}sys\n")
+        return exit_code
+
+
+register_command(TimeCommand())

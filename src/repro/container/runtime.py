@@ -1,0 +1,81 @@
+"""The container engine a worker drives."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.container.container import Container
+from repro.container.image import ImageRegistry, default_registry
+from repro.container.limits import ResourceLimits
+from repro.container.volumes import VolumeMount
+
+
+class ContainerRuntime:
+    """Per-worker Docker-engine stand-in.
+
+    Tracks a local image cache: the first job needing an image pays the
+    registry pull ("if the machine does not have the Docker image, then
+    it's pulled from the Docker repository", §V Worker Operations step 3);
+    later jobs on the same worker start instantly.
+    """
+
+    def __init__(self, registry: Optional[ImageRegistry] = None,
+                 pull_bandwidth_bps: float = 100e6,
+                 clock: Optional[Callable[[], float]] = None):
+        self.registry = registry if registry is not None else default_registry()
+        self.pull_bandwidth_bps = pull_bandwidth_bps
+        self.clock = clock
+        self._image_cache: set = set()
+        self.containers: List[Container] = []
+        self.total_created = 0
+        self.total_destroyed = 0
+
+    def pull_cost_seconds(self, image_name: str) -> float:
+        """Seconds the next ``create_container`` will spend pulling."""
+        if image_name in self._image_cache:
+            return 0.0
+        image = self.registry.get(image_name)
+        return image.pull_seconds(self.pull_bandwidth_bps)
+
+    def create_container(self, image_name: str,
+                         limits: Optional[ResourceLimits] = None,
+                         mounts: Optional[List[VolumeMount]] = None,
+                         gpu_device=None,
+                         on_output=None) -> Container:
+        """Validate against the whitelist, pull if needed, and create.
+
+        Raises :class:`~repro.errors.ImageNotWhitelisted` /
+        :class:`~repro.errors.ImageNotFound` before any resources are
+        committed.
+        """
+        image = self.registry.get(image_name)
+        self._image_cache.add(image_name)
+        container = Container(
+            image=image,
+            limits=limits or ResourceLimits(),
+            mounts=mounts or [],
+            gpu_device=gpu_device,
+            on_output=on_output,
+            clock=self.clock,
+        )
+        self.containers.append(container)
+        self.total_created += 1
+        return container
+
+    def destroy_container(self, container: Container) -> None:
+        container.destroy()
+        if container in self.containers:
+            self.containers.remove(container)
+        self.total_destroyed += 1
+
+    @property
+    def live_count(self) -> int:
+        return len(self.containers)
+
+    def stats(self) -> dict:
+        return {
+            "created": self.total_created,
+            "destroyed": self.total_destroyed,
+            "live": self.live_count,
+            "cached_images": sorted(self._image_cache),
+        }

@@ -1,0 +1,54 @@
+"""Volume mounts.
+
+The worker "mounts the nvidia-docker CUDA volume onto the container",
+mounts the downloaded project at ``/src``, and "creates a /build directory
+and sets it to be the user's working directory" (§V, Worker Operations).
+Mounts here are copy-in (and the read-only flag is enforced by the
+container filesystem), which preserves the isolation property: nothing a
+job does can reach back out of its sandbox.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.vfs import VirtualFileSystem
+
+
+@dataclass
+class VolumeMount:
+    """A host tree projected into the container."""
+
+    container_path: str
+    read_only: bool = False
+    #: Either a whole VFS to graft, or a flat mapping of files.
+    source_fs: Optional[VirtualFileSystem] = None
+    source_path: str = "/"
+    source_files: Optional[Dict[str, bytes]] = None
+    #: Marks the nvidia-docker CUDA volume: grants the container a GPU.
+    is_cuda: bool = False
+
+    def materialize(self, fs: VirtualFileSystem) -> None:
+        """Copy the mount's content into the container filesystem."""
+        fs.makedirs(self.container_path)
+        if self.source_fs is not None:
+            fs.graft(self.source_fs, self.source_path, self.container_path)
+        elif self.source_files is not None:
+            fs.import_mapping(self.source_files, self.container_path)
+        if self.read_only:
+            fs.set_readonly(self.container_path)
+
+
+def cuda_volume() -> VolumeMount:
+    """The nvidia-docker volume: CUDA libraries + the device node marker."""
+    return VolumeMount(
+        container_path="/usr/local/nvidia",
+        read_only=True,
+        source_files={
+            "lib64/libcuda.so": b"\x7fELF-cuda-stub",
+            "lib64/libcudart.so": b"\x7fELF-cudart-stub",
+            "bin/nvidia-smi": b"#!rai-exec nvidia-smi\n{}",
+        },
+        is_cuda=True,
+    )

@@ -1,0 +1,34 @@
+"""The RAI submission system proper: client, worker, protocol, ranking.
+
+This package is the paper's primary contribution — everything else in
+``repro`` is substrate.  See :class:`repro.core.system.RaiSystem` for the
+fully wired deployment and :mod:`repro.core.client` /
+:mod:`repro.core.worker` for the two sides of the submission protocol
+(§V's numbered client and worker steps are implemented literally).
+"""
+
+from repro.core.job import Job, JobKind, JobResult, JobStatus
+from repro.core.config import WorkerConfig, SystemConfig
+from repro.core.ratelimit import RateLimiter
+from repro.core.ranking import RankingService
+from repro.core.client import RaiClient
+from repro.core.worker import RaiWorker
+from repro.core.system import RaiSystem
+from repro.core.cli import RaiCLI
+from repro.core.interactive import InteractiveSession
+
+__all__ = [
+    "Job",
+    "JobKind",
+    "JobResult",
+    "JobStatus",
+    "WorkerConfig",
+    "SystemConfig",
+    "RateLimiter",
+    "RankingService",
+    "RaiClient",
+    "RaiWorker",
+    "RaiSystem",
+    "RaiCLI",
+    "InteractiveSession",
+]

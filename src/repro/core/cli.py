@@ -1,0 +1,146 @@
+"""A string-driven front end mirroring the ``rai`` command-line tool.
+
+The real client is "an interactive command line tool used for project job
+submissions" (§I).  This class gives examples and tests the same surface::
+
+    cli = RaiCLI(system, client)
+    print(cli.run_command("rai run"))
+    print(cli.run_command("rai submit"))
+    print(cli.run_command("rai ranking"))
+    print(cli.run_command("rai history"))
+    print(cli.run_command("rai version"))
+
+Output is returned as text (what the student would see in their
+terminal).
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import List
+
+from repro._version import build_info
+from repro.core.client import RaiClient
+from repro.core.job import JobKind, JobResult
+
+
+class RaiCLI:
+    """Parses ``rai <subcommand>`` strings and drives a client."""
+
+    SUBCOMMANDS = ("run", "submit", "ranking", "history", "download",
+                   "stats", "version", "help")
+
+    def __init__(self, system, client: RaiClient):
+        self.system = system
+        self.client = client
+
+    def run_command(self, command_line: str) -> str:
+        tokens = shlex.split(command_line)
+        if tokens and tokens[0] == "rai":
+            tokens = tokens[1:]
+        if not tokens:
+            return self._help()
+        subcommand, *args = tokens
+        handler = getattr(self, f"_cmd_{subcommand}", None)
+        if handler is None:
+            return (f"rai: unknown subcommand {subcommand!r}\n"
+                    + self._help())
+        return handler(args)
+
+    # -- subcommands ------------------------------------------------------
+
+    def _cmd_run(self, args: List[str]) -> str:
+        result = self.system.run(self.client.submit(JobKind.RUN))
+        return self._render_result(result)
+
+    def _cmd_submit(self, args: List[str]) -> str:
+        result = self.system.run(self.client.submit(JobKind.SUBMIT))
+        text = self._render_result(result)
+        if result.rank is not None:
+            text += f"\nYour team is currently ranked #{result.rank}.\n"
+        return text
+
+    def _cmd_ranking(self, args: List[str]) -> str:
+        rows = self.client.check_ranking(limit=30)
+        if not rows:
+            return "No submissions recorded yet.\n"
+        lines = [f"{'Rank':>4}  {'Team':<24} {'Time (s)':>10}"]
+        for row in rows:
+            marker = "  ← you" if row["is_you"] else ""
+            lines.append(f"{row['rank']:>4}  {row['team']:<24} "
+                         f"{row['internal_time']:>10.3f}{marker}")
+        return "\n".join(lines) + "\n"
+
+    def _cmd_history(self, args: List[str]) -> str:
+        if not self.client.history:
+            return "No jobs submitted in this session.\n"
+        lines = [f"{'Job':<12} {'Status':<10} {'Queue(s)':>9} "
+                 f"{'Total(s)':>9}"]
+        for result in self.client.history:
+            queue = (f"{result.queue_wait:.1f}"
+                     if result.queue_wait is not None else "-")
+            total = (f"{result.turnaround:.1f}"
+                     if result.turnaround is not None else "-")
+            lines.append(f"{result.job_id:<12} {result.status.value:<10} "
+                         f"{queue:>9} {total:>9}")
+        return "\n".join(lines) + "\n"
+
+    def _cmd_download(self, args: List[str]) -> str:
+        """``rai download [N]`` — fetch the Nth (default last) job's
+        /build archive into the local project under ``build/``."""
+        finished = [r for r in self.client.history
+                    if r.build_url is not None]
+        if not finished:
+            return "No completed jobs with build output.\n"
+        try:
+            index = int(args[0]) - 1 if args else len(finished) - 1
+            result = finished[index]
+        except (ValueError, IndexError):
+            return f"rai download: no such job (1..{len(finished)})\n"
+        blob = self.client.download_build(result)
+        if blob is None:
+            return "rai download: build output expired\n"
+        from repro.vfs import unpack_tree
+
+        written = unpack_tree(blob, self.client.project_fs,
+                              f"/build-{result.job_id}")
+        return (f"downloaded {len(blob)} bytes; extracted "
+                f"{len(written)} files to build-{result.job_id}/\n")
+
+    def _cmd_stats(self, args: List[str]) -> str:
+        """``rai stats`` — operator health snapshot (instructor use)."""
+        from repro.core.telemetry import health_report
+
+        return health_report(self.system) + "\n"
+
+    def _cmd_version(self, args: List[str]) -> str:
+        info = build_info()
+        return (f"rai version {info['version']} "
+                f"({info['branch']}@{info['commit']}, "
+                f"built {info['build_date']})\n")
+
+    def _cmd_help(self, args: List[str]) -> str:
+        return self._help()
+
+    # -- rendering ------------------------------------------------------
+
+    def _help(self) -> str:
+        return ("usage: rai <subcommand>\n  " +
+                "\n  ".join(self.SUBCOMMANDS) + "\n")
+
+    @staticmethod
+    def _render_result(result: JobResult) -> str:
+        lines = [f"✱ job {result.job_id}: {result.status.value}"]
+        if result.error:
+            lines.append(f"✗ {result.error}")
+        for _t, stream, text in result.log:
+            prefix = "" if stream == "stdout" else "! "
+            for line in text.splitlines():
+                lines.append(prefix + line)
+        if result.build_url:
+            lines.append("✱ build output uploaded; use download_build() "
+                         "to fetch it")
+        if result.turnaround is not None:
+            lines.append(f"✱ total turnaround {result.turnaround:.1f}s "
+                         f"(queued {result.queue_wait:.1f}s)")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,219 @@
+"""The RAI client: §V "Client Execution", implemented step by step.
+
+1. check the project directory and find ``rai-build.yml`` (falling back to
+   the Listing 1 default);
+2. verify the user credentials from ``.rai.profile``;
+3. compress the project into a ``.tar.bz2`` and upload it to the file
+   server (with a delete-after-last-use lifetime);
+4. create a job request and push it onto the queue;
+5. subscribe to the ``log_${job_id}`` topic;
+6. print worker messages until ``End`` arrives;
+7. for final submissions, the execution time and team name land in the
+   ranking database (written by the worker);
+8. exit once ``End`` is received.
+
+``submit()`` is a simulation-process generator; drive it with
+``system.run(client.submit(...))`` which returns the assembled
+:class:`~repro.core.job.JobResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.auth.profile import RaiProfile
+from repro.auth.signing import sign_request
+from repro.broker.client import Consumer
+from repro.buildspec.defaults import DEFAULT_BUILD_YAML, FINAL_SUBMISSION_YAML
+from repro.core.job import Job, JobKind, JobResult, JobStatus, new_job_id
+from repro.errors import InvalidCredentials, RateLimited, SubmissionRejected
+from repro.vfs import VirtualFileSystem, pack_tree
+
+#: Files a final submission must contain (§V, Student Final Submission):
+#: USAGE (how to reproduce the profile results) and report.pdf.
+REQUIRED_SUBMISSION_FILES = ("USAGE", "report.pdf")
+
+
+class RaiClient:
+    """The student-side command-line tool."""
+
+    def __init__(self, system, profile: RaiProfile,
+                 team: Optional[str] = None,
+                 on_line: Optional[Callable[[str, str], None]] = None):
+        self.system = system
+        self.sim = system.sim
+        self.profile = profile
+        self.team = team
+        #: Called with (stream, text) for every log chunk — the client
+        #: "prints them to the user's screen" (§V).
+        self.on_line = on_line
+        self.project_fs = VirtualFileSystem(clock=lambda: self.sim.now)
+        self.history: List[JobResult] = []
+        #: Declared extra project bytes (datasets/checkpoints a real
+        #: project would carry); counted in upload time and storage
+        #: accounting without materialising content.  See StoredObject.
+        self.project_padding_bytes: int = 0
+
+    @property
+    def username(self) -> str:
+        return self.profile.username
+
+    # -- project staging ------------------------------------------------------
+
+    def stage_project(self, files: Dict[str, Union[str, bytes]],
+                      clear: bool = False) -> None:
+        """Write files into the local project directory."""
+        if clear:
+            self.project_fs.rmtree("/")
+        self.project_fs.import_mapping(files, "/")
+
+    def set_build_file(self, yaml_text: str) -> None:
+        self.project_fs.write_file("/rai-build.yml", yaml_text)
+
+    def build_file_text(self) -> Optional[str]:
+        for name in ("rai-build.yml", "rai-build.yaml"):
+            if self.project_fs.isfile("/" + name):
+                return self.project_fs.read_text("/" + name)
+        return None
+
+    # -- the submission process ------------------------------------------------
+
+    def submit(self, kind: JobKind = JobKind.RUN,
+               raise_on_reject: bool = False):
+        """Generator implementing the eight client steps.
+
+        Returns (via the process value) a :class:`JobResult`.  Local
+        rejections (rate limit, bad credentials, missing final-submission
+        files) produce a ``REJECTED`` result unless ``raise_on_reject``.
+        """
+        result = JobResult(job_id="(unassigned)")
+        self.history.append(result)
+
+        def reject(exc: Exception) -> JobResult:
+            result.status = JobStatus.REJECTED
+            result.error = str(exc)
+            result.finished_at = self.sim.now
+            if raise_on_reject:
+                raise exc
+            return result
+
+        # Step 1 — locate the build file (or fall back to the default).
+        if self.project_fs.file_count("/") == 0:
+            return reject(SubmissionRejected("project directory is empty"))
+        spec_yaml = self.build_file_text()
+        if spec_yaml is None:
+            spec_yaml = DEFAULT_BUILD_YAML
+            self._emit("stdout", "• no rai-build.yml found; using the "
+                                 "course default\n")
+        if kind is JobKind.SUBMIT:
+            # The student's build file is ignored for finals (Listing 2).
+            spec_yaml = FINAL_SUBMISSION_YAML
+            missing = [name for name in REQUIRED_SUBMISSION_FILES
+                       if not self.project_fs.isfile("/" + name)]
+            if missing:
+                return reject(SubmissionRejected(
+                    f"final submission is missing required file(s): "
+                    f"{', '.join(missing)}"))
+
+        # Step 2 — verify credentials; also the 30-second rate limit.
+        try:
+            self.system.keystore.verify_pair(self.profile.access_key,
+                                             self.profile.secret_key)
+        except InvalidCredentials as exc:
+            return reject(exc)
+        try:
+            self.system.rate_limiter.check(self.team or self.username)
+        except RateLimited as exc:
+            return reject(exc)
+
+        # Step 3 — compress and upload the project.
+        archive = pack_tree(self.project_fs, "/")
+        upload_bytes = len(archive) + self.project_padding_bytes
+        upload_seconds = upload_bytes / self.system.config.client_bandwidth_bps
+        yield self.sim.timeout(upload_seconds)
+        job_id = new_job_id()
+        result.job_id = job_id
+        upload_key = f"{self.username}/{job_id}.tar.bz2"
+        self.system.storage.put_object(
+            self.system.config.upload_bucket, upload_key, archive,
+            metadata={"username": self.username, "team": self.team or "",
+                      "kind": kind.value, "job_id": job_id},
+            padding_bytes=self.project_padding_bytes)
+        self.system.monitor.incr("bytes_uploaded", upload_bytes)
+
+        # Step 4 — create and sign the job request.
+        job = Job(
+            id=job_id,
+            kind=kind,
+            username=self.username,
+            team=self.team,
+            upload_bucket=self.system.config.upload_bucket,
+            upload_key=upload_key,
+            spec_yaml=spec_yaml,
+            access_key=self.profile.access_key,
+            signature="",
+            submitted_at=self.sim.now,
+        )
+        body = job.to_message()
+        body.pop("signature")
+        job.signature = sign_request(self.profile.secret_key, body,
+                                     job.submitted_at)
+
+        # Step 5 — subscribe to the log topic *before* publishing, so not
+        # even the first worker message can be missed.
+        consumer = Consumer(self.system.broker, f"log_{job_id}/#ch")
+        self.system.broker.publish("rai", job.to_message())
+        result.status = JobStatus.QUEUED
+        result.queued_at = self.sim.now
+        self.system.monitor.incr("jobs_submitted")
+        self.system.monitor.record_submission(self.sim.now, kind)
+
+        # Step 6 — consume messages until End.
+        try:
+            while True:
+                message = yield consumer.get()
+                payload = message.body
+                consumer.ack(message)
+                mtype = payload.get("type")
+                if mtype == "log":
+                    result.log.append((payload["t"], payload["stream"],
+                                       payload["text"]))
+                    self._emit(payload["stream"], payload["text"])
+                elif mtype == "command":
+                    self._emit("stdout", f"$ {payload['command']}\n")
+                elif mtype == "status":
+                    if payload.get("status") == "running":
+                        result.status = JobStatus.RUNNING
+                        result.started_at = payload["t"]
+                    result.worker_id = payload.get("worker")
+                elif mtype == "build":
+                    result.build_url = payload["url"]
+                elif mtype == "end":
+                    result.status = JobStatus(payload["status"])
+                    result.exit_code = payload.get("exit_code")
+                    result.finished_at = payload["t"]
+                    break
+        finally:
+            consumer.close()
+
+        # Steps 7/8 — the worker already recorded finals in the ranking DB;
+        # surface the team's rank on the result for convenience.
+        if kind is JobKind.SUBMIT and result.succeeded and self.team:
+            result.rank = self.system.ranking.team_rank(self.team)
+        return result
+
+    # -- utilities (§VI) ------------------------------------------------------
+
+    def check_ranking(self, limit: Optional[int] = None) -> List[dict]:
+        """The student-facing anonymised leaderboard."""
+        return self.system.ranking.anonymized_view(self.team or "", limit)
+
+    def download_build(self, result: JobResult) -> Optional[bytes]:
+        """Fetch the job's /build archive through its presigned URL."""
+        if result.build_url is None:
+            return None
+        return self.system.storage.redeem_get(result.build_url).data
+
+    def _emit(self, stream: str, text: str) -> None:
+        if self.on_line is not None:
+            self.on_line(stream, text)

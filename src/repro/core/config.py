@@ -1,0 +1,61 @@
+"""Worker and system configuration.
+
+"These limits can be changed using the RAI worker configuration file"
+(§V); "the worker can be configured to have multiple jobs in flight"
+(§V, Worker Operations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.container.limits import ResourceLimits
+
+
+@dataclass
+class WorkerConfig:
+    """Per-worker knobs."""
+
+    #: Jobs accepted concurrently.  1 near deadlines "makes the performance
+    #: timing more accurate and repeatable"; >1 early in the project when
+    #: CPU time dominates (§V).
+    max_concurrent_jobs: int = 1
+    #: Container sandbox limits (8 GB / no net / 1 h by default).
+    limits: ResourceLimits = field(default_factory=ResourceLimits)
+    #: GPU model mounted via the CUDA volume ("K40" on G2, "K80" on P2).
+    gpu_model: str = "K80"
+    #: Link speed between worker and file server (archive transfer time).
+    storage_bandwidth_bps: float = 200e6
+    #: Registry pull bandwidth for image-cache misses.
+    pull_bandwidth_bps: float = 100e6
+    #: Queue route workers consume from.
+    task_route: str = "rai/tasks"
+    #: Relative runtime jitter when running alone (measurement noise).
+    solo_jitter: float = 0.02
+    #: Additional relative jitter per concurrent co-running job
+    #: (contention; drives the single-vs-multi timing-accuracy ablation).
+    contention_jitter: float = 0.35
+    #: Serve interactive sessions (§VIII future work) alongside batch jobs.
+    enable_interactive: bool = False
+
+    def __post_init__(self):
+        if self.max_concurrent_jobs < 1:
+            raise ValueError("max_concurrent_jobs must be >= 1")
+
+
+@dataclass
+class SystemConfig:
+    """Deployment-wide knobs."""
+
+    upload_bucket: str = "rai-uploads"
+    build_bucket: str = "rai-builds"
+    #: Client-side upload bandwidth (student's connection).
+    client_bandwidth_bps: float = 20e6
+    #: Submission rate-limit window (30 s in the course).
+    rate_limit_seconds: float = 30.0
+    #: Lifetime of uploaded project archives ("between 1 and 3 months").
+    upload_lifetime_seconds: float = 30 * 24 * 3600.0
+    #: Lifetime of build outputs.
+    build_lifetime_seconds: float = 90 * 24 * 3600.0
+    #: Presigned build-URL validity.
+    presign_expiry_seconds: float = 7 * 24 * 3600.0

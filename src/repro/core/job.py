@@ -1,0 +1,157 @@
+"""Job model and lifecycle."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+_job_counter = itertools.count(1)
+
+
+def new_job_id() -> str:
+    return f"job-{next(_job_counter):06d}"
+
+
+def reset_job_ids() -> None:
+    global _job_counter
+    _job_counter = itertools.count(1)
+
+
+class JobKind(enum.Enum):
+    """Development run vs graded final submission (§V)."""
+
+    RUN = "run"
+    SUBMIT = "submit"
+
+
+class JobStatus(enum.Enum):
+    CREATED = "created"
+    QUEUED = "queued"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    REJECTED = "rejected"     # bad credentials / spec / rate limit
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (JobStatus.SUCCEEDED, JobStatus.FAILED,
+                        JobStatus.REJECTED)
+
+
+@dataclass
+class Job:
+    """One submission travelling through the system."""
+
+    id: str
+    kind: JobKind
+    username: str
+    team: Optional[str]
+    upload_bucket: str
+    upload_key: str
+    spec_yaml: str
+    access_key: str
+    signature: str
+    submitted_at: float
+    status: JobStatus = JobStatus.CREATED
+
+    def to_message(self) -> dict:
+        """The broker message body (JSON-safe)."""
+        return {
+            "job_id": self.id,
+            "kind": self.kind.value,
+            "username": self.username,
+            "team": self.team,
+            "upload_bucket": self.upload_bucket,
+            "upload_key": self.upload_key,
+            "spec_yaml": self.spec_yaml,
+            "access_key": self.access_key,
+            "signature": self.signature,
+            "submitted_at": self.submitted_at,
+        }
+
+    @staticmethod
+    def from_message(body: dict) -> "Job":
+        return Job(
+            id=body["job_id"],
+            kind=JobKind(body["kind"]),
+            username=body["username"],
+            team=body.get("team"),
+            upload_bucket=body["upload_bucket"],
+            upload_key=body["upload_key"],
+            spec_yaml=body["spec_yaml"],
+            access_key=body["access_key"],
+            signature=body["signature"],
+            submitted_at=body["submitted_at"],
+            status=JobStatus.QUEUED,
+        )
+
+
+_ELAPSED_RE = re.compile(r"Elapsed time:\s*([0-9.eE+-]+)\s*s")
+_CORRECTNESS_RE = re.compile(r"Correctness:\s*([0-9.eE+-]+)")
+_TIME_RE = re.compile(r"([0-9.]+)real\s+([0-9.]+)user\s+([0-9.]+)sys")
+
+
+@dataclass
+class JobResult:
+    """What the client assembles from the ``log_${job_id}`` stream."""
+
+    job_id: str
+    status: JobStatus = JobStatus.QUEUED
+    exit_code: Optional[int] = None
+    #: (simulated time, stream, text) tuples, in arrival order.
+    log: List[Tuple[float, str, str]] = field(default_factory=list)
+    build_url: Optional[str] = None
+    error: Optional[str] = None
+    queued_at: Optional[float] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    worker_id: Optional[str] = None
+    #: Team's leaderboard rank after a successful final submission.
+    rank: Optional[int] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status is JobStatus.SUCCEEDED
+
+    @property
+    def queue_wait(self) -> Optional[float]:
+        if self.queued_at is None or self.started_at is None:
+            return None
+        return self.started_at - self.queued_at
+
+    @property
+    def turnaround(self) -> Optional[float]:
+        if self.queued_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.queued_at
+
+    def stdout_text(self) -> str:
+        return "".join(text for _, stream, text in self.log
+                       if stream == "stdout")
+
+    def stderr_text(self) -> str:
+        return "".join(text for _, stream, text in self.log
+                       if stream == "stderr")
+
+    @property
+    def internal_time(self) -> Optional[float]:
+        """The student-visible internal timer (``Elapsed time: ... s``)."""
+        matches = _ELAPSED_RE.findall(self.stdout_text())
+        return float(matches[-1]) if matches else None
+
+    @property
+    def correctness(self) -> Optional[float]:
+        matches = _CORRECTNESS_RE.findall(self.stdout_text())
+        return float(matches[-1]) if matches else None
+
+    @property
+    def time_command_output(self) -> Optional[dict]:
+        """Instructor-only ``/usr/bin/time`` figures from stderr."""
+        match = _TIME_RE.search(self.stderr_text())
+        if match is None:
+            return None
+        return {"real": float(match.group(1)), "user": float(match.group(2)),
+                "sys": float(match.group(3))}

@@ -1,0 +1,52 @@
+"""Per-principal submission rate limiting.
+
+"To limit denial of service attacks and to maintain fairness, each student
+can only submit a job every 30 seconds" (§V, Container Execution).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import RateLimited
+
+DEFAULT_WINDOW_SECONDS = 30.0
+
+
+class RateLimiter:
+    """A fixed-interval limiter keyed by principal (user or team)."""
+
+    def __init__(self, clock: Callable[[], float],
+                 window_seconds: float = DEFAULT_WINDOW_SECONDS):
+        if window_seconds < 0:
+            raise ValueError("window must be >= 0")
+        self.clock = clock
+        self.window_seconds = window_seconds
+        self._last_accepted: Dict[str, float] = {}
+        self.total_accepted = 0
+        self.total_rejected = 0
+
+    def check(self, principal: str) -> None:
+        """Accept or raise :class:`RateLimited` (with ``retry_after``)."""
+        now = self.clock()
+        last = self._last_accepted.get(principal)
+        if last is not None:
+            elapsed = now - last
+            if elapsed < self.window_seconds:
+                self.total_rejected += 1
+                raise RateLimited(retry_after=self.window_seconds - elapsed)
+        self._last_accepted[principal] = now
+        self.total_accepted += 1
+
+    def retry_after(self, principal: str) -> float:
+        """Seconds until the next submission would be accepted (0 if now)."""
+        last = self._last_accepted.get(principal)
+        if last is None:
+            return 0.0
+        return max(0.0, self.window_seconds - (self.clock() - last))
+
+    def reset(self, principal: str = None) -> None:
+        if principal is None:
+            self._last_accepted.clear()
+        else:
+            self._last_accepted.pop(principal, None)

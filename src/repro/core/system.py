@@ -1,0 +1,187 @@
+"""``RaiSystem``: the fully wired deployment of Figure 1.
+
+One object owns the simulation kernel and every service: the message
+broker, the S3-style file server (with the paper's lifecycle rules), the
+MongoDB-style database, the key store, the rate limiter, the ranking
+service, and any number of workers.  Clients are minted per student/team.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.auth.keys import KeyStore
+from repro.auth.profile import RaiProfile
+from repro.broker.broker import MessageBroker
+from repro.container.image import ImageRegistry, default_registry
+from repro.core.client import RaiClient
+from repro.core.config import SystemConfig, WorkerConfig
+from repro.core.job import JobKind
+from repro.core.ranking import RankingService
+from repro.core.ratelimit import RateLimiter
+from repro.core.worker import RaiWorker
+from repro.docdb.database import DocumentDB
+from repro.sim.kernel import Simulator
+from repro.sim.monitor import Monitor
+from repro.sim.random import RandomStreams
+from repro.storage.lifecycle import LifecycleRule
+from repro.storage.object_store import ObjectStore
+
+
+class SystemMonitor(Monitor):
+    """Deployment monitor: adds the submission event log Figure 4 uses."""
+
+    def __init__(self, sim):
+        super().__init__(sim)
+        #: (sim time, JobKind) per accepted submission.
+        self.submission_events: List[tuple] = []
+
+    def record_submission(self, time: float, kind: JobKind) -> None:
+        self.submission_events.append((time, kind))
+        self.incr("submissions_total")
+
+    def submission_times(self) -> List[float]:
+        return [t for t, _ in self.submission_events]
+
+
+class RaiSystem:
+    """A complete RAI deployment on one simulation kernel."""
+
+    def __init__(self, seed: int = 0,
+                 config: Optional[SystemConfig] = None,
+                 registry: Optional[ImageRegistry] = None):
+        self.config = config or SystemConfig()
+        self.sim = Simulator()
+        self.rng = RandomStreams(seed)
+        self.monitor = SystemMonitor(self.sim)
+
+        self.broker = MessageBroker(self.sim)
+        self.storage = ObjectStore(self.sim)
+        self.db = DocumentDB(self.sim)
+        self.registry = registry if registry is not None else default_registry()
+        self.keystore = KeyStore(rng=self.rng.stream("keystore"))
+        self.rate_limiter = RateLimiter(
+            clock=lambda: self.sim.now,
+            window_seconds=self.config.rate_limit_seconds)
+        self.ranking = RankingService(self.db)
+        self.workers: List[RaiWorker] = []
+
+        # File-server buckets and the paper's lifetime rules (§IV/§V):
+        # uploads expire one month after last use; build outputs after
+        # three months.
+        uploads = self.storage.create_bucket(self.config.upload_bucket)
+        uploads.add_lifecycle_rule(LifecycleRule(
+            expire_after=self.config.upload_lifetime_seconds,
+            since="last_use"))
+        builds = self.storage.create_bucket(self.config.build_bucket)
+        builds.add_lifecycle_rule(LifecycleRule(
+            expire_after=self.config.build_lifetime_seconds,
+            since="creation"))
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def standard(cls, num_workers: int = 1, seed: int = 0,
+                 worker_config: Optional[WorkerConfig] = None,
+                 config: Optional[SystemConfig] = None) -> "RaiSystem":
+        """A ready-to-use deployment with ``num_workers`` identical workers."""
+        system = cls(seed=seed, config=config)
+        for _ in range(num_workers):
+            system.add_worker(worker_config)
+        return system
+
+    def add_worker(self, config: Optional[WorkerConfig] = None) -> RaiWorker:
+        # Worker ids are per-system (not the class-global counter) so that
+        # RNG stream names — and thus timing jitter — are reproducible
+        # across runs with the same seed.
+        worker_id = f"worker-{len(self.workers) + 1:04d}"
+        worker = RaiWorker(self, config=WorkerConfig(**vars(config))
+                           if config is not None else None,
+                           worker_id=worker_id)
+        self.workers.append(worker)
+        self.monitor.incr("workers_started")
+        return worker
+
+    def remove_worker(self, worker: Optional[RaiWorker] = None) -> None:
+        """Stop (and drop) a worker — the scale-in path."""
+        if worker is None:
+            running = [w for w in self.workers if w.is_running]
+            if not running:
+                return
+            worker = running[-1]
+        worker.stop()
+        self.monitor.incr("workers_stopped")
+
+    @property
+    def running_workers(self) -> List[RaiWorker]:
+        return [w for w in self.workers if w.is_running]
+
+    def new_client(self, team: Optional[str] = None,
+                   username: Optional[str] = None,
+                   on_line=None) -> RaiClient:
+        """Issue credentials and hand back a configured client."""
+        if username is None:
+            username = f"student{len(self.keystore) + 1:03d}"
+        credential = self.keystore.issue(username, team=team)
+        profile = RaiProfile(username=credential.username,
+                             access_key=credential.access_key,
+                             secret_key=credential.secret_key)
+        return RaiClient(self, profile, team=team, on_line=on_line)
+
+    def start_caretaker(self, interval: float = 60.0,
+                        in_flight_timeout: float = 2 * 3600.0):
+        """Start the broker's stale-message sweeper (at-least-once jobs).
+
+        Opt-in because it is a perpetual process: a simulation with a
+        caretaker never runs out of events, so drive it with
+        ``run(until=...)``.
+        """
+        return self.sim.process(self.broker.caretaker(
+            interval=interval, in_flight_timeout=in_flight_timeout))
+
+    # -- running ------------------------------------------------------------
+
+    def run(self, process_or_generator=None, until: Optional[float] = None):
+        """Run a client/driver generator to completion (or to ``until``)."""
+        if process_or_generator is None:
+            return self.sim.run(until=until)
+        if isinstance(process_or_generator, Generator):
+            process_or_generator = self.sim.process(process_or_generator)
+        return self.sim.run(until=process_or_generator)
+
+    def run_all(self, generators) -> list:
+        """Run several submissions concurrently; returns their results."""
+        processes = [self.sim.process(g) if isinstance(g, Generator) else g
+                     for g in generators]
+        done = self.sim.all_of(processes)
+        self.sim.run(until=done)
+        return [p.value for p in processes]
+
+    # -- observability ------------------------------------------------------
+
+    def queue_depth(self) -> int:
+        """Jobs waiting in the task queue (incl. topic backlog)."""
+        if not self.broker.has_topic("rai"):
+            return 0
+        return self.broker.topics["rai"].depth
+
+    def stats(self) -> dict:
+        submissions = self.db.collection("submissions")
+        return {
+            "now": self.sim.now,
+            "workers": {
+                "total": len(self.workers),
+                "running": len(self.running_workers),
+                "jobs_completed": sum(w.jobs_completed for w in self.workers),
+                "jobs_failed": sum(w.jobs_failed for w in self.workers),
+            },
+            "queue_depth": self.queue_depth(),
+            "submissions_recorded": len(submissions),
+            "storage": self.storage.stats(),
+            "database": self.db.stats(),
+            "broker_counters": self.broker.counters.as_dict(),
+            "rate_limiter": {
+                "accepted": self.rate_limiter.total_accepted,
+                "rejected": self.rate_limiter.total_rejected,
+            },
+        }

@@ -1,0 +1,86 @@
+"""Operational telemetry: the data behind §VII's provisioning decisions.
+
+The course staff watched queue depth, worker utilisation, and submission
+bursts to decide when to move from G2 to P2 instances and when to grow
+the fleet ("we found that students worked in bursts, which required RAI
+to be elastic to remain reliable and cost-efficient").  This module
+samples those signals into the system monitor and renders an operator
+health report.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.report import format_bytes, render_table
+
+
+class TelemetrySampler:
+    """Periodically samples deployment health into the system monitor.
+
+    Samples (as monitor time series):
+
+    - ``queue_depth`` — jobs waiting (incl. topic backlog);
+    - ``workers_running`` / ``jobs_active`` — fleet state;
+    - ``storage_bytes`` — file-server footprint;
+    - ``in_flight`` — broker messages delivered but unacked.
+    """
+
+    def __init__(self, system, interval: float = 300.0):
+        self.system = system
+        self.interval = interval
+        self._stopped = False
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def run(self):
+        """Kernel process; start with ``sim.process(sampler.run())``."""
+        monitor = self.system.monitor
+        while not self._stopped:
+            yield self.system.sim.timeout(self.interval)
+            workers = self.system.running_workers
+            monitor.record("queue_depth", self.system.queue_depth())
+            monitor.record("workers_running", len(workers))
+            monitor.record("jobs_active",
+                           sum(w.active_jobs for w in workers))
+            monitor.record("storage_bytes",
+                           self.system.storage.total_bytes)
+            in_flight = sum(
+                len(channel.in_flight)
+                for topic in self.system.broker.topics.values()
+                for channel in topic.channels.values())
+            monitor.record("in_flight", in_flight)
+
+    # -- analysis ------------------------------------------------------------
+
+    def peak(self, name: str) -> float:
+        series = self.system.monitor.series.get(name)
+        return series.maximum() if series is not None else float("nan")
+
+    def average(self, name: str) -> float:
+        series = self.system.monitor.series.get(name)
+        return series.time_average() if series is not None else float("nan")
+
+
+def health_report(system, sampler: Optional[TelemetrySampler] = None) -> str:
+    """An operator-facing snapshot + (if sampled) time-averaged signals."""
+    stats = system.stats()
+    rows: List[list] = [
+        ["simulated time", f"{stats['now'] / 3600:.1f} h"],
+        ["workers running",
+         f"{stats['workers']['running']}/{stats['workers']['total']}"],
+        ["jobs completed", stats["workers"]["jobs_completed"]],
+        ["jobs failed", stats["workers"]["jobs_failed"]],
+        ["queue depth (now)", stats["queue_depth"]],
+        ["submissions recorded", stats["submissions_recorded"]],
+        ["file server", format_bytes(stats["storage"]["total_bytes"])],
+        ["db documents", stats["database"]["total_documents"]],
+        ["rate-limit rejections", stats["rate_limiter"]["rejected"]],
+    ]
+    if sampler is not None:
+        for signal in ("queue_depth", "workers_running", "jobs_active"):
+            rows.append([f"{signal} (avg)", f"{sampler.average(signal):.2f}"])
+            rows.append([f"{signal} (peak)", f"{sampler.peak(signal):.0f}"])
+    return render_table(["metric", "value"], rows,
+                        title="RAI deployment health")

@@ -1,0 +1,375 @@
+"""The RAI worker: §V "Worker Operations", implemented step by step.
+
+1. subscribe to the ``rai`` topic's task channel;
+2. on a message: parse, check credentials, extract the build spec;
+3. start a Docker container from the job's base image (pulling on a cache
+   miss), with limited RAM, no network, the CUDA volume mounted, and all
+   stdout/stderr piped to the ``log_${job_id}`` topic;
+4. download the client's project archive and mount it at ``/src``
+   (read-only), with a writable ``/build`` working directory;
+5. execute the build-file commands in the container;
+6. archive ``/build``, upload it to the file server, send its URL and the
+   ``End`` message, and destroy the container.
+
+A worker runs ``max_concurrent_jobs`` executor loops.  Near deadlines the
+course set this to 1 because exclusive use "makes the performance timing
+more accurate and repeatable" — reproduced here as contention jitter that
+scales with the number of co-running jobs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from repro.broker.client import Consumer, Producer
+from repro.buildspec.parser import parse_build_spec
+from repro.container.runtime import ContainerRuntime
+from repro.container.volumes import VolumeMount, cuda_volume
+from repro.core.config import WorkerConfig
+from repro.core.job import Job, JobKind, JobStatus, _CORRECTNESS_RE, _ELAPSED_RE, _TIME_RE
+from repro.errors import (
+    BuildSpecError,
+    ContainerError,
+    InvalidCredentials,
+    Interrupt,
+    SignatureMismatch,
+)
+from repro.gpu.device import get_device
+from repro.vfs import VirtualFileSystem, pack_tree, unpack_tree
+
+_worker_counter = itertools.count(1)
+
+
+def _defuse_interrupt_failure(process_event) -> None:
+    if not process_event._ok and isinstance(process_event._value, Interrupt):
+        process_event._defused = True
+
+
+class RaiWorker:
+    """One worker node (an "agent that starts a sandboxed environment to
+    execute students' code", §IV)."""
+
+    def __init__(self, system, config: Optional[WorkerConfig] = None,
+                 worker_id: Optional[str] = None):
+        self.system = system
+        self.sim = system.sim
+        self.config = config or WorkerConfig()
+        self.id = worker_id or f"worker-{next(_worker_counter):04d}"
+        self.gpu = get_device(self.config.gpu_model)
+        self.runtime = ContainerRuntime(
+            registry=system.registry,
+            pull_bandwidth_bps=self.config.pull_bandwidth_bps,
+            clock=lambda: self.sim.now,
+        )
+        self._rng = system.rng.stream(f"worker:{self.id}")
+        self._stopped = False
+        self._crashed = False
+        self.active_jobs = 0
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.busy_seconds = 0.0
+        self.started_at = self.sim.now
+        self.stopped_at: Optional[float] = None
+        self._executors = [
+            self.sim.process(self._executor_loop(slot))
+            for slot in range(self.config.max_concurrent_jobs)
+        ]
+        if self.config.enable_interactive:
+            from repro.core.interactive import serve_sessions
+
+            self._executors.append(self.sim.process(serve_sessions(self)))
+        for proc in self._executors:
+            # A stop() interrupt can land before an executor's generator
+            # has even started, in which case the Interrupt escapes the
+            # loop's try blocks; mark it handled so it cannot crash the
+            # simulation.
+            proc.callbacks.append(_defuse_interrupt_failure)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def is_running(self) -> bool:
+        return not self._stopped
+
+    def stop(self) -> None:
+        """Stop accepting new jobs; in-flight jobs are interrupted."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self.stopped_at = self.sim.now
+        for proc in self._executors:
+            if proc.is_alive:
+                proc.interrupt("worker stopped")
+
+    def crash(self) -> None:
+        """Abrupt death (spot-instance reclaim, kernel panic).
+
+        Unlike :meth:`stop`, nothing is acked, published, or recorded:
+        any in-flight job message stays un-acked on its channel until the
+        broker caretaker's stale sweep redelivers it to another worker —
+        the failure-robustness path of §V ("these operations need to ...
+        be robust to failures").
+        """
+        self._crashed = True
+        self.stop()
+
+    @property
+    def uptime(self) -> float:
+        end = self.stopped_at if self.stopped_at is not None else self.sim.now
+        return end - self.started_at
+
+    def utilization(self) -> float:
+        """Busy fraction of (uptime × concurrency slots)."""
+        denom = self.uptime * self.config.max_concurrent_jobs
+        return self.busy_seconds / denom if denom > 0 else 0.0
+
+    # -- the executor loop ------------------------------------------------------
+
+    def _executor_loop(self, slot: int):
+        consumer = Consumer(self.system.broker, self.config.task_route)
+        try:
+            while not self._stopped:
+                get_event = consumer.get()
+                try:
+                    message = yield get_event
+                except Interrupt:
+                    self._cancel_get(consumer, get_event)
+                    break
+                if self._stopped:
+                    consumer.requeue(message)
+                    break
+                start = self.sim.now
+                try:
+                    yield from self._process_job(message)
+                except Interrupt:
+                    self.busy_seconds += self.sim.now - start
+                    if not self._crashed:
+                        # Graceful scale-down: the job was already
+                        # consumed and its failure reported; ack it.
+                        # A *crash* acks nothing — the caretaker will
+                        # redeliver the message to another worker.
+                        consumer.ack(message)
+                    break
+                self.busy_seconds += self.sim.now - start
+                consumer.ack(message)
+        finally:
+            consumer.close()
+
+    @staticmethod
+    def _cancel_get(consumer, get_event) -> None:
+        if not get_event.triggered:
+            # Withdraw the pending get so no message is delivered into
+            # the void after this executor exits.
+            get_event.succeed(None)
+        else:
+            # Raced with a delivery: hand the message back to the channel.
+            get_event.callbacks.append(
+                lambda evt: evt.value is not None and
+                consumer.requeue(evt.value))
+
+    # -- job processing ------------------------------------------------------
+
+    def _process_job(self, message):
+        try:
+            job = Job.from_message(message.body)
+        except (KeyError, TypeError, ValueError) as exc:
+            # A malformed task message (version skew, junk injected onto
+            # the queue) must not crash the worker: drop it and move on.
+            self.system.monitor.incr("malformed_job_messages")
+            self.jobs_failed += 1
+            return
+            yield  # pragma: no cover - keeps this a generator
+        self.active_jobs += 1
+        producer = Producer(self.system.broker, f"log_{job.id}")
+        outputs: List[tuple] = []
+
+        def publish(kind: str, **payload) -> None:
+            producer.publish({"type": kind, "t": self.sim.now,
+                              "worker": self.id, **payload})
+
+        def publish_log(stream: str, text: str) -> None:
+            outputs.append((stream, text))
+            publish("log", stream=stream, text=text)
+
+        status = JobStatus.FAILED
+        exit_code: Optional[int] = None
+        build_url = None
+        try:
+            publish("status", status="accepted")
+
+            # Step 2 — credentials and spec.
+            try:
+                credential = self._verify(job)
+                spec = parse_build_spec(job.spec_yaml)
+                spec.validate(image_whitelist=self.system.registry.whitelist
+                              or None)
+            except (InvalidCredentials, SignatureMismatch,
+                    BuildSpecError, ContainerError) as exc:
+                publish_log("stderr", f"✗ job rejected: {exc}\n")
+                status = JobStatus.REJECTED
+                return
+
+            # Step 4 — fetch and unpack the project.
+            try:
+                archive = self.system.storage.get_object(
+                    job.upload_bucket, job.upload_key)
+            except Exception as exc:  # NoSuchKey etc.
+                publish_log("stderr", f"✗ cannot fetch project: {exc}\n")
+                status = JobStatus.REJECTED
+                return
+            yield self.sim.timeout(
+                archive.size / self.config.storage_bandwidth_bps)
+            project_fs = VirtualFileSystem(clock=lambda: self.sim.now)
+            unpack_tree(archive.data, project_fs, "/")
+
+            # Step 3 — container (pull image on cache miss).
+            pull_cost = self.runtime.pull_cost_seconds(spec.image)
+            if pull_cost > 0:
+                publish_log("stdout", f"Pulling image {spec.image} ...\n")
+                yield self.sim.timeout(pull_cost)
+            container = self.runtime.create_container(
+                spec.image,
+                limits=self.config.limits,
+                mounts=[
+                    VolumeMount("/src", read_only=True,
+                                source_fs=project_fs),
+                    cuda_volume(),
+                ],
+                gpu_device=self.gpu,
+                on_output=publish_log,
+            )
+            # Contention noise flows into the container's measured times:
+            # alone on a worker it is ~solo_jitter; with co-running jobs
+            # it grows — the single-job-mode ablation's mechanism.
+            container.time_dilation = self._timing_noise
+            container.start()
+            publish("status", status="running", container=container.id)
+
+            # Step 5 — run the build commands.
+            try:
+                exit_code = 0
+                for command in spec.build_commands:
+                    publish("command", command=command)
+                    result = container.exec_line(command)
+                    # sim_duration already includes contention dilation
+                    # (applied at charge time inside the container).
+                    yield self.sim.timeout(result.sim_duration)
+                    if result.error is not None:
+                        publish_log("stderr", f"✗ {result.error}\n")
+                        exit_code = result.exit_code
+                        break
+                    if result.exit_code != 0:
+                        publish_log(
+                            "stderr",
+                            f"✗ command exited with status "
+                            f"{result.exit_code}\n")
+                        exit_code = result.exit_code
+                        break
+                status = (JobStatus.SUCCEEDED if exit_code == 0
+                          else JobStatus.FAILED)
+
+                # Step 6 — archive /build and upload it.
+                if container.fs is not None and container.fs.isdir("/build"):
+                    blob = pack_tree(container.fs, "/build")
+                    yield self.sim.timeout(
+                        len(blob) / self.config.storage_bandwidth_bps)
+                    key = f"{job.id}/build.tar.bz2"
+                    self.system.storage.put_object(
+                        self.system.config.build_bucket, key, blob,
+                        metadata={
+                            "job_id": job.id,
+                            "username": job.username,
+                            "team": job.team or "",
+                            "kind": job.kind.value,
+                        })
+                    build_url = self.system.storage.presign_get(
+                        self.system.config.build_bucket, key,
+                        expires_in=self.system.config.presign_expiry_seconds)
+                    publish("build", url=build_url, key=key,
+                            bucket=self.system.config.build_bucket,
+                            size=len(blob))
+            finally:
+                self.runtime.destroy_container(container)
+
+            # Record the submission and, for finals, the ranking.
+            self._record(job, status, exit_code, outputs, build_url)
+        except Interrupt:
+            if not self._crashed:
+                publish_log("stderr", "✗ worker shutting down mid-job\n")
+                status = JobStatus.FAILED
+                self._record(job, status, exit_code, outputs, build_url)
+            raise
+        finally:
+            if status is JobStatus.SUCCEEDED:
+                self.jobs_completed += 1
+            else:
+                self.jobs_failed += 1
+            if not self._crashed:
+                # A crashed worker cannot publish; its client keeps
+                # waiting until redelivery produces a real End.
+                publish("end", status=status.value, exit_code=exit_code)
+            producer.close()
+            self.active_jobs -= 1
+
+    # -- helpers ------------------------------------------------------------
+
+    def _verify(self, job: Job):
+        credential = self.system.keystore.lookup(job.access_key)
+        from repro.auth.signing import verify_request
+
+        body = job.to_message()
+        signature = body.pop("signature")
+        verify_request(credential.secret_key, body, job.submitted_at,
+                       signature)
+        return credential
+
+    def _timing_noise(self) -> float:
+        """Runtime multiplier; grows with co-running jobs (contention)."""
+        base = 1.0 + self.config.solo_jitter * float(self._rng.random())
+        others = max(0, self.active_jobs - 1)
+        contention = self.config.contention_jitter * others * \
+            float(self._rng.random())
+        return base + contention
+
+    def _record(self, job: Job, status: JobStatus, exit_code,
+                outputs: List[tuple], build_url) -> None:
+        stdout = "".join(t for s, t in outputs if s == "stdout")
+        stderr = "".join(t for s, t in outputs if s == "stderr")
+        elapsed = _ELAPSED_RE.findall(stdout)
+        correctness = _CORRECTNESS_RE.findall(stdout)
+        time_match = _TIME_RE.search(stderr)
+        internal_time = float(elapsed[-1]) if elapsed else None
+        instructor_time = float(time_match.group(1)) if time_match else None
+
+        self.system.db.collection("submissions").insert_one({
+            "job_id": job.id,
+            "kind": job.kind.value,
+            "username": job.username,
+            "team": job.team,
+            "worker": self.id,
+            "status": status.value,
+            "exit_code": exit_code,
+            "submitted_at": job.submitted_at,
+            "finished_at": self.sim.now,
+            "internal_time": internal_time,
+            "instructor_time": instructor_time,
+            "correctness": float(correctness[-1]) if correctness else None,
+            "build_url": build_url,
+            "log_bytes": sum(len(t) for _, t in outputs),
+            "stdout_tail": stdout[-2000:],
+            "stderr_tail": stderr[-2000:],
+        })
+        self.system.monitor.incr("jobs_recorded")
+
+        if job.kind is JobKind.SUBMIT and status is JobStatus.SUCCEEDED \
+                and internal_time is not None and job.team:
+            self.system.ranking.record_final(
+                team=job.team,
+                internal_time=internal_time,
+                instructor_time=instructor_time or internal_time,
+                correctness=float(correctness[-1]) if correctness else 0.0,
+                username=job.username,
+                job_id=job.id,
+                at=self.sim.now,
+            )

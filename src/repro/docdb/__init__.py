@@ -1,0 +1,38 @@
+"""MongoDB-style document database.
+
+The paper stores "meta-information about submissions, including execution
+times, run-times, and logs" plus the competition ranking in MongoDB (§IV).
+This subpackage implements the slice of MongoDB the system needs — and
+enough beyond it to be a usable general store:
+
+- collections of JSON-like documents with generated ``_id``\\ s;
+- query operators (``$eq $ne $gt $gte $lt $lte $in $nin $exists $regex
+  $and $or $nor $not $size``) with dotted-path traversal and array
+  membership semantics;
+- update operators (``$set $unset $inc $mul $min $max $push $pull
+  $addToSet $pop $rename``) and upserts;
+- unique and secondary indexes with an equality fast path;
+- sort / skip / limit cursors and projections;
+- an aggregation pipeline (``$match $group $sort $skip $limit $project
+  $unwind $count``).
+
+Documents are deep-copied across the API boundary, so callers can never
+mutate stored state by aliasing — the same isolation a real client/server
+database enforces by serialisation.
+"""
+
+from repro.docdb.database import DocumentDB, Collection
+from repro.docdb.query import match_document, get_path
+from repro.docdb.update import apply_update
+from repro.docdb.cursor import Cursor
+from repro.docdb.aggregate import run_pipeline
+
+__all__ = [
+    "DocumentDB",
+    "Collection",
+    "match_document",
+    "get_path",
+    "apply_update",
+    "Cursor",
+    "run_pipeline",
+]

@@ -1,0 +1,200 @@
+"""Aggregation pipeline.
+
+Implements the stages the grading and ranking tools use, with MongoDB
+semantics: each stage transforms the full document stream.
+
+Supported stages: ``$match``, ``$group``, ``$sort``, ``$skip``, ``$limit``,
+``$project``, ``$unwind``, ``$count``, ``$addFields``.
+
+Group accumulators: ``$sum``, ``$avg``, ``$min``, ``$max``, ``$push``,
+``$addToSet``, ``$first``, ``$last``, ``$count``.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, List
+
+from repro.docdb.cursor import Cursor, apply_projection, normalize_sort
+from repro.docdb.query import get_path, match_document, _MISSING
+from repro.errors import InvalidQuery
+
+
+def _evaluate(expr: Any, doc: dict) -> Any:
+    """Evaluate an aggregation expression against a document.
+
+    Supports ``"$field"`` references, literals, and a few arithmetic
+    operators (``$add $subtract $multiply $divide``).
+    """
+    if isinstance(expr, str) and expr.startswith("$"):
+        value = get_path(doc, expr[1:])
+        return None if value is _MISSING else value
+    if isinstance(expr, dict):
+        if len(expr) == 1:
+            op, args = next(iter(expr.items()))
+            if op in ("$add", "$subtract", "$multiply", "$divide"):
+                values = [_evaluate(a, doc) for a in args]
+                if any(v is None for v in values):
+                    return None
+                if op == "$add":
+                    return sum(values)
+                if op == "$subtract":
+                    return values[0] - values[1]
+                if op == "$multiply":
+                    result = 1
+                    for v in values:
+                        result *= v
+                    return result
+                return values[0] / values[1] if values[1] else None
+        return {k: _evaluate(v, doc) for k, v in expr.items()}
+    return expr
+
+
+def _stage_group(docs: List[dict], spec: dict) -> List[dict]:
+    if "_id" not in spec:
+        raise InvalidQuery("$group requires an _id expression")
+    groups: Dict[Any, dict] = {}
+    order: List[Any] = []
+    # accumulator state
+    state: Dict[Any, Dict[str, Any]] = {}
+
+    for doc in docs:
+        key = _evaluate(spec["_id"], doc)
+        hashable = _hashable(key)
+        if hashable not in groups:
+            groups[hashable] = {"_id": key}
+            state[hashable] = {}
+            order.append(hashable)
+        out = groups[hashable]
+        st = state[hashable]
+        for field, acc in spec.items():
+            if field == "_id":
+                continue
+            if not isinstance(acc, dict) or len(acc) != 1:
+                raise InvalidQuery(f"bad accumulator for {field!r}")
+            op, expr = next(iter(acc.items()))
+            value = _evaluate(expr, doc)
+            if op == "$sum":
+                out[field] = out.get(field, 0) + (
+                    value if isinstance(value, (int, float)) else 0)
+            elif op == "$avg":
+                cell = st.setdefault(field, [0.0, 0])
+                if isinstance(value, (int, float)):
+                    cell[0] += value
+                    cell[1] += 1
+                out[field] = cell[0] / cell[1] if cell[1] else None
+            elif op == "$min":
+                if value is not None and (field not in out or
+                                          out[field] is None or
+                                          value < out[field]):
+                    out[field] = value
+                out.setdefault(field, None)
+            elif op == "$max":
+                if value is not None and (field not in out or
+                                          out[field] is None or
+                                          value > out[field]):
+                    out[field] = value
+                out.setdefault(field, None)
+            elif op == "$push":
+                out.setdefault(field, []).append(value)
+            elif op == "$addToSet":
+                bucket = out.setdefault(field, [])
+                if value not in bucket:
+                    bucket.append(value)
+            elif op == "$first":
+                if field not in out:
+                    out[field] = value
+            elif op == "$last":
+                out[field] = value
+            elif op == "$count":
+                out[field] = out.get(field, 0) + 1
+            else:
+                raise InvalidQuery(f"unsupported accumulator {op!r}")
+    return [groups[h] for h in order]
+
+
+def _hashable(value: Any):
+    if isinstance(value, list):
+        return ("__list__", tuple(_hashable(v) for v in value))
+    if isinstance(value, dict):
+        return ("__dict__",
+                tuple(sorted((k, _hashable(v)) for k, v in value.items())))
+    return value
+
+
+def _stage_unwind(docs: List[dict], spec) -> List[dict]:
+    path = spec["path"] if isinstance(spec, dict) else spec
+    if not path.startswith("$"):
+        raise InvalidQuery("$unwind path must start with '$'")
+    field = path[1:]
+    out = []
+    for doc in docs:
+        value = get_path(doc, field)
+        if value is _MISSING or value is None:
+            continue
+        if not isinstance(value, list):
+            out.append(doc)
+            continue
+        for item in value:
+            clone = copy.deepcopy(doc)
+            _set_top(clone, field, item)
+            out.append(clone)
+    return out
+
+
+def _set_top(doc: dict, path: str, value) -> None:
+    parts = path.split(".")
+    current = doc
+    for part in parts[:-1]:
+        current = current.setdefault(part, {})
+    current[parts[-1]] = value
+
+
+def run_pipeline(docs: List[dict], pipeline: List[dict]) -> List[dict]:
+    """Run a pipeline over ``docs`` and return the resulting documents."""
+    current = docs
+    for stage in pipeline:
+        if not isinstance(stage, dict) or len(stage) != 1:
+            raise InvalidQuery(f"each stage must be a single-key dict: {stage!r}")
+        op, spec = next(iter(stage.items()))
+        if op == "$match":
+            current = [d for d in current if match_document(d, spec)]
+        elif op == "$group":
+            current = _stage_group(current, spec)
+        elif op == "$sort":
+            cursor = Cursor(current)
+            cursor.sort([(k, v) for k, v in spec.items()]
+                        if isinstance(spec, dict) else spec)
+            current = cursor.to_list()
+        elif op == "$skip":
+            current = current[spec:]
+        elif op == "$limit":
+            current = current[:spec]
+        elif op == "$project":
+            # 0/1/bool values are include/exclude flags; anything else
+            # (a "$field" reference or operator dict) is a computed field.
+            simple = {k: v for k, v in spec.items()
+                      if isinstance(v, bool) or v in (0, 1)}
+            computed = {k: v for k, v in spec.items() if k not in simple}
+            result = []
+            for doc in current:
+                base = apply_projection(doc, simple) if simple else dict(doc)
+                for field, expr in computed.items():
+                    base[field] = _evaluate(expr, doc)
+                result.append(base)
+            current = result
+        elif op == "$addFields":
+            result = []
+            for doc in current:
+                clone = copy.deepcopy(doc)
+                for field, expr in spec.items():
+                    _set_top(clone, field, _evaluate(expr, doc))
+                result.append(clone)
+            current = result
+        elif op == "$unwind":
+            current = _stage_unwind(current, spec)
+        elif op == "$count":
+            current = [{spec: len(current)}]
+        else:
+            raise InvalidQuery(f"unsupported pipeline stage {op!r}")
+    return current

@@ -1,0 +1,223 @@
+"""Collections and the database front object."""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from typing import Any, Dict, List, Optional
+
+from repro.docdb.aggregate import run_pipeline
+from repro.docdb.cursor import Cursor
+from repro.docdb.index import Index
+from repro.docdb.query import match_document, get_path, _MISSING
+from repro.docdb.update import apply_update
+from repro.errors import DocDbError, DuplicateKeyError
+
+
+class Collection:
+    """A named set of documents."""
+
+    def __init__(self, db: "DocumentDB", name: str):
+        self.db = db
+        self.name = name
+        self._docs: Dict[Any, dict] = {}
+        self._indexes: Dict[str, Index] = {}
+        self._id_counter = itertools.count(1)
+
+    # -- indexes ------------------------------------------------------------
+
+    def create_index(self, field: str, unique: bool = False) -> Index:
+        if field in self._indexes:
+            return self._indexes[field]
+        index = Index(field, unique=unique)
+        for doc_id, doc in self._docs.items():
+            index.add(doc_id, doc)
+        self._indexes[field] = index
+        return index
+
+    def _index_add(self, doc_id, doc) -> None:
+        for index in self._indexes.values():
+            index.check_would_conflict(doc_id, doc)
+        for index in self._indexes.values():
+            index.add(doc_id, doc)
+
+    def _index_remove(self, doc_id, doc) -> None:
+        for index in self._indexes.values():
+            index.remove(doc_id, doc)
+
+    # -- writes ------------------------------------------------------------
+
+    def insert_one(self, document: dict) -> Any:
+        """Insert a document; returns its ``_id`` (generated if absent)."""
+        if not isinstance(document, dict):
+            raise DocDbError("documents must be dicts")
+        doc = copy.deepcopy(document)
+        doc_id = doc.get("_id")
+        if doc_id is None:
+            doc_id = f"oid-{next(self._id_counter):08d}"
+            doc["_id"] = doc_id
+        if doc_id in self._docs:
+            raise DuplicateKeyError(f"_id {doc_id!r} already exists")
+        self._index_add(doc_id, doc)
+        self._docs[doc_id] = doc
+        return doc_id
+
+    def insert_many(self, documents) -> List[Any]:
+        return [self.insert_one(d) for d in documents]
+
+    def replace_one(self, filter: dict, replacement: dict,
+                    upsert: bool = False) -> int:
+        return self._update(filter, replacement, upsert=upsert, many=False)
+
+    def update_one(self, filter: dict, update: dict,
+                   upsert: bool = False) -> int:
+        """Apply ``update`` to the first match; returns modified count."""
+        return self._update(filter, update, upsert=upsert, many=False)
+
+    def update_many(self, filter: dict, update: dict) -> int:
+        return self._update(filter, update, upsert=False, many=True)
+
+    def _update(self, filter: dict, update: dict, upsert: bool,
+                many: bool) -> int:
+        matched_ids = [doc_id for doc_id, doc in self._docs.items()
+                       if match_document(doc, filter)]
+        if not matched_ids:
+            if upsert:
+                seed = {k: v for k, v in filter.items()
+                        if not k.startswith("$") and not isinstance(v, dict)}
+                new_doc = apply_update(seed, update)
+                for op_spec in ([update.get("$setOnInsert")] if
+                                isinstance(update.get("$setOnInsert"), dict)
+                                else []):
+                    for path, value in op_spec.items():
+                        new_doc.setdefault(path, copy.deepcopy(value))
+                self.insert_one(new_doc)
+                return 1
+            return 0
+        if not many:
+            matched_ids = matched_ids[:1]
+        modified = 0
+        for doc_id in matched_ids:
+            old = self._docs[doc_id]
+            new = apply_update(old, update)
+            new["_id"] = doc_id
+            if new != old:
+                self._index_remove(doc_id, old)
+                try:
+                    self._index_add(doc_id, new)
+                except DuplicateKeyError:
+                    self._index_add(doc_id, old)  # restore
+                    raise
+                self._docs[doc_id] = new
+                modified += 1
+        return modified
+
+    def delete_one(self, filter: dict) -> int:
+        return self._delete(filter, many=False)
+
+    def delete_many(self, filter: dict) -> int:
+        return self._delete(filter, many=True)
+
+    def _delete(self, filter: dict, many: bool) -> int:
+        doomed = [doc_id for doc_id, doc in self._docs.items()
+                  if match_document(doc, filter)]
+        if not many:
+            doomed = doomed[:1]
+        for doc_id in doomed:
+            self._index_remove(doc_id, self._docs[doc_id])
+            del self._docs[doc_id]
+        return len(doomed)
+
+    # -- reads ------------------------------------------------------------
+
+    def _candidates(self, filter: dict):
+        """Use an index fast path for top-level equality when possible."""
+        for field, condition in filter.items():
+            if field.startswith("$") or isinstance(condition, dict):
+                continue
+            index = self._indexes.get(field)
+            if index is not None and not isinstance(condition, (list, dict)):
+                ids = index.lookup(condition)
+                return [self._docs[i] for i in sorted(ids, key=str)
+                        if i in self._docs]
+        return list(self._docs.values())
+
+    def find(self, filter: Optional[dict] = None,
+             projection: Optional[dict] = None) -> Cursor:
+        filter = filter or {}
+        matched = [doc for doc in self._candidates(filter)
+                   if match_document(doc, filter)]
+        return Cursor(matched, projection=projection)
+
+    def find_one(self, filter: Optional[dict] = None,
+                 projection: Optional[dict] = None) -> Optional[dict]:
+        return self.find(filter, projection).first()
+
+    def count_documents(self, filter: Optional[dict] = None) -> int:
+        filter = filter or {}
+        if not filter:
+            return len(self._docs)
+        return sum(1 for doc in self._candidates(filter)
+                   if match_document(doc, filter))
+
+    def distinct(self, field: str, filter: Optional[dict] = None) -> List[Any]:
+        seen = []
+        for doc in self.find(filter or {}):
+            value = get_path(doc, field)
+            if value is _MISSING:
+                continue
+            values = value if isinstance(value, list) else [value]
+            for v in values:
+                if v not in seen:
+                    seen.append(v)
+        return seen
+
+    def aggregate(self, pipeline: List[dict]) -> List[dict]:
+        docs = [copy.deepcopy(d) for d in self._docs.values()]
+        return run_pipeline(docs, pipeline)
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def estimated_size_bytes(self) -> int:
+        """Rough storage footprint (JSON encoding length)."""
+        import json
+        return sum(len(json.dumps(d, default=str)) for d in self._docs.values())
+
+
+class DocumentDB:
+    """The database: a namespace of collections (paper's MongoDB role)."""
+
+    def __init__(self, sim=None, name: str = "rai"):
+        self.sim = sim
+        self.name = name
+        self._collections: Dict[str, Collection] = {}
+
+    def collection(self, name: str) -> Collection:
+        coll = self._collections.get(name)
+        if coll is None:
+            coll = self._collections[name] = Collection(self, name)
+        return coll
+
+    def __getitem__(self, name: str) -> Collection:
+        return self.collection(name)
+
+    def collection_names(self) -> List[str]:
+        return sorted(self._collections)
+
+    def drop_collection(self, name: str) -> None:
+        self._collections.pop(name, None)
+
+    def total_documents(self) -> int:
+        return sum(len(c) for c in self._collections.values())
+
+    def estimated_size_bytes(self) -> int:
+        return sum(c.estimated_size_bytes()
+                   for c in self._collections.values())
+
+    def stats(self) -> dict:
+        return {
+            "collections": {n: len(c) for n, c in self._collections.items()},
+            "total_documents": self.total_documents(),
+            "estimated_bytes": self.estimated_size_bytes(),
+        }

@@ -1,0 +1,75 @@
+"""Secondary and unique indexes.
+
+Indexes map a field's value to the set of document ids holding it, giving
+equality lookups an O(1) fast path and letting unique constraints (e.g. one
+ranking row per team) be enforced at insert/update time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Set
+
+from repro.docdb.query import get_path, _MISSING
+from repro.errors import DuplicateKeyError
+
+
+def _index_key(value: Any):
+    """A hashable stand-in for arbitrary JSON values."""
+    if isinstance(value, list):
+        return ("__list__", tuple(_index_key(v) for v in value))
+    if isinstance(value, dict):
+        return ("__dict__", tuple(sorted(
+            (k, _index_key(v)) for k, v in value.items())))
+    return value
+
+
+class Index:
+    """An index over one dotted field path."""
+
+    def __init__(self, field: str, unique: bool = False):
+        self.field = field
+        self.unique = unique
+        self._entries: Dict[Any, Set[Any]] = {}
+
+    def add(self, doc_id: Any, doc: dict) -> None:
+        value = get_path(doc, self.field)
+        if value is _MISSING:
+            return
+        key = _index_key(value)
+        holders = self._entries.setdefault(key, set())
+        if self.unique and holders and doc_id not in holders:
+            raise DuplicateKeyError(
+                f"duplicate value {value!r} for unique index on "
+                f"{self.field!r}")
+        holders.add(doc_id)
+
+    def remove(self, doc_id: Any, doc: dict) -> None:
+        value = get_path(doc, self.field)
+        if value is _MISSING:
+            return
+        key = _index_key(value)
+        holders = self._entries.get(key)
+        if holders is not None:
+            holders.discard(doc_id)
+            if not holders:
+                del self._entries[key]
+
+    def lookup(self, value: Any) -> Optional[Set[Any]]:
+        """Document ids with exactly this value, or None if unindexed."""
+        return self._entries.get(_index_key(value), set())
+
+    def check_would_conflict(self, doc_id: Any, doc: dict) -> None:
+        """Raise if adding ``doc`` would break uniqueness (pre-flight)."""
+        if not self.unique:
+            return
+        value = get_path(doc, self.field)
+        if value is _MISSING:
+            return
+        holders = self._entries.get(_index_key(value), set())
+        if holders - {doc_id}:
+            raise DuplicateKeyError(
+                f"duplicate value {value!r} for unique index on "
+                f"{self.field!r}")
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,134 @@
+"""Query matching: a faithful subset of the MongoDB filter language."""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.errors import InvalidQuery
+
+_MISSING = object()
+
+
+def get_path(doc: Any, path: str) -> Any:
+    """Resolve a dotted path; returns the ``_MISSING`` sentinel if absent.
+
+    Integer components index into lists (``"results.0.time"``).
+    """
+    current = doc
+    for part in path.split("."):
+        if isinstance(current, dict):
+            if part not in current:
+                return _MISSING
+            current = current[part]
+        elif isinstance(current, list):
+            try:
+                current = current[int(part)]
+            except (ValueError, IndexError):
+                return _MISSING
+        else:
+            return _MISSING
+    return current
+
+
+def path_exists(doc: Any, path: str) -> bool:
+    return get_path(doc, path) is not _MISSING
+
+
+_COMPARATORS = {
+    "$eq": lambda a, b: _values_equal(a, b),
+    "$ne": lambda a, b: not _values_equal(a, b),
+    "$gt": lambda a, b: _ordered(a, b) and a > b,
+    "$gte": lambda a, b: _ordered(a, b) and a >= b,
+    "$lt": lambda a, b: _ordered(a, b) and a < b,
+    "$lte": lambda a, b: _ordered(a, b) and a <= b,
+}
+
+
+def _ordered(a, b) -> bool:
+    """True when ``a`` and ``b`` are mutually order-comparable."""
+    if a is _MISSING or a is None or b is None:
+        return False
+    num = (int, float, bool)
+    if isinstance(a, num) and isinstance(b, num):
+        return True
+    return type(a) is type(b) and isinstance(a, (str, int, float, list, tuple))
+
+
+def _values_equal(a, b) -> bool:
+    if a is _MISSING:
+        return b is None  # Mongo: missing field equals null
+    if isinstance(a, list) and not isinstance(b, list):
+        # array membership: {tags: "gpu"} matches tags=["gpu", "cuda"]
+        return any(_values_equal(item, b) for item in a)
+    return a == b
+
+
+def _match_condition(value: Any, condition: Any) -> bool:
+    """Match one field value against a condition (literal or operator doc)."""
+    if isinstance(condition, dict) and condition and \
+            all(isinstance(k, str) and k.startswith("$") for k in condition):
+        for op, operand in condition.items():
+            if op in _COMPARATORS:
+                if not _COMPARATORS[op](value, operand):
+                    return False
+            elif op == "$in":
+                if not isinstance(operand, (list, tuple)):
+                    raise InvalidQuery("$in requires a list")
+                if not any(_values_equal(value, item) for item in operand):
+                    return False
+            elif op == "$nin":
+                if not isinstance(operand, (list, tuple)):
+                    raise InvalidQuery("$nin requires a list")
+                if any(_values_equal(value, item) for item in operand):
+                    return False
+            elif op == "$exists":
+                if bool(operand) != (value is not _MISSING):
+                    return False
+            elif op == "$regex":
+                if value is _MISSING or not isinstance(value, str):
+                    return False
+                if not re.search(operand, value):
+                    return False
+            elif op == "$size":
+                if not isinstance(value, list) or len(value) != operand:
+                    return False
+            elif op == "$not":
+                if _match_condition(value, operand):
+                    return False
+            elif op == "$elemMatch":
+                if not isinstance(value, list):
+                    return False
+                if not any(
+                    match_document(item, operand) if isinstance(item, dict)
+                    else _match_condition(item, operand)
+                    for item in value
+                ):
+                    return False
+            else:
+                raise InvalidQuery(f"unsupported operator {op!r}")
+        return True
+    # literal comparison
+    return _values_equal(value, condition)
+
+
+def match_document(doc: dict, query: dict) -> bool:
+    """True if ``doc`` satisfies the Mongo-style ``query``."""
+    if not isinstance(query, dict):
+        raise InvalidQuery(f"query must be a dict, got {type(query).__name__}")
+    for key, condition in query.items():
+        if key == "$and":
+            if not all(match_document(doc, sub) for sub in condition):
+                return False
+        elif key == "$or":
+            if not any(match_document(doc, sub) for sub in condition):
+                return False
+        elif key == "$nor":
+            if any(match_document(doc, sub) for sub in condition):
+                return False
+        elif key.startswith("$"):
+            raise InvalidQuery(f"unsupported top-level operator {key!r}")
+        else:
+            if not _match_condition(get_path(doc, key), condition):
+                return False
+    return True

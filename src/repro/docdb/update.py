@@ -1,0 +1,160 @@
+"""Update application: the MongoDB update-operator language."""
+
+from __future__ import annotations
+
+import copy
+from typing import Any
+
+from repro.errors import InvalidUpdate
+
+
+def _set_path(doc: dict, path: str, value: Any) -> None:
+    parts = path.split(".")
+    current = doc
+    for part in parts[:-1]:
+        nxt = current.get(part) if isinstance(current, dict) else None
+        if not isinstance(nxt, (dict, list)):
+            nxt = {}
+            current[part] = nxt
+        current = nxt
+    if isinstance(current, list):
+        current[int(parts[-1])] = value
+    else:
+        current[parts[-1]] = value
+
+
+def _get_path(doc: dict, path: str, default=None) -> Any:
+    current = doc
+    for part in path.split("."):
+        if isinstance(current, dict) and part in current:
+            current = current[part]
+        elif isinstance(current, list):
+            try:
+                current = current[int(part)]
+            except (ValueError, IndexError):
+                return default
+        else:
+            return default
+    return current
+
+
+def _unset_path(doc: dict, path: str) -> None:
+    parts = path.split(".")
+    current = doc
+    for part in parts[:-1]:
+        if isinstance(current, dict) and part in current:
+            current = current[part]
+        else:
+            return
+    if isinstance(current, dict):
+        current.pop(parts[-1], None)
+
+
+def apply_update(doc: dict, update: dict) -> dict:
+    """Return a new document with ``update`` applied.
+
+    ``update`` either uses operators (``{"$set": {...}, "$inc": {...}}``)
+    or is a full replacement document (no ``$`` keys); mixing the two is an
+    error, matching MongoDB.
+    """
+    if not isinstance(update, dict):
+        raise InvalidUpdate("update must be a dict")
+    has_ops = any(k.startswith("$") for k in update)
+    has_plain = any(not k.startswith("$") for k in update)
+    if has_ops and has_plain:
+        raise InvalidUpdate("cannot mix update operators and literal fields")
+
+    if not has_ops:
+        replacement = copy.deepcopy(update)
+        if "_id" in doc:
+            replacement.setdefault("_id", doc["_id"])
+        return replacement
+
+    result = copy.deepcopy(doc)
+    for op, spec in update.items():
+        if not isinstance(spec, dict):
+            raise InvalidUpdate(f"{op} requires a dict of field specs")
+        for path, value in spec.items():
+            if path == "_id" and op != "$setOnInsert":
+                raise InvalidUpdate("_id is immutable")
+            if op == "$set":
+                _set_path(result, path, copy.deepcopy(value))
+            elif op == "$unset":
+                _unset_path(result, path)
+            elif op == "$inc":
+                current = _get_path(result, path, 0)
+                _require_number(op, current)
+                _set_path(result, path, current + value)
+            elif op == "$mul":
+                current = _get_path(result, path, 0)
+                _require_number(op, current)
+                _set_path(result, path, current * value)
+            elif op == "$min":
+                current = _get_path(result, path)
+                if current is None or value < current:
+                    _set_path(result, path, value)
+            elif op == "$max":
+                current = _get_path(result, path)
+                if current is None or value > current:
+                    _set_path(result, path, value)
+            elif op == "$push":
+                current = _get_path(result, path)
+                if current is None:
+                    current = []
+                if not isinstance(current, list):
+                    raise InvalidUpdate(f"$push target {path!r} is not a list")
+                current = list(current)
+                if isinstance(value, dict) and "$each" in value:
+                    current.extend(copy.deepcopy(value["$each"]))
+                else:
+                    current.append(copy.deepcopy(value))
+                _set_path(result, path, current)
+            elif op == "$addToSet":
+                current = _get_path(result, path)
+                if current is None:
+                    current = []
+                if not isinstance(current, list):
+                    raise InvalidUpdate(f"$addToSet target {path!r} is not a list")
+                current = list(current)
+                items = value["$each"] if isinstance(value, dict) and \
+                    "$each" in value else [value]
+                for item in items:
+                    if item not in current:
+                        current.append(copy.deepcopy(item))
+                _set_path(result, path, current)
+            elif op == "$pull":
+                current = _get_path(result, path)
+                if isinstance(current, list):
+                    from repro.docdb.query import _match_condition
+                    _set_path(result, path,
+                              [x for x in current
+                               if not _match_condition(x, value)])
+            elif op == "$pop":
+                current = _get_path(result, path)
+                if isinstance(current, list) and current:
+                    current = list(current)
+                    if value == -1:
+                        current.pop(0)
+                    else:
+                        current.pop()
+                    _set_path(result, path, current)
+            elif op == "$rename":
+                current = _get_path(result, path, _SENTINEL)
+                if current is not _SENTINEL:
+                    _unset_path(result, path)
+                    _set_path(result, path if not isinstance(value, str)
+                              else value, current)
+            elif op == "$setOnInsert":
+                # handled by the collection at upsert time; no-op here
+                pass
+            else:
+                raise InvalidUpdate(f"unsupported update operator {op!r}")
+    return result
+
+
+_SENTINEL = object()
+
+
+def _require_number(op: str, value: Any) -> None:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise InvalidUpdate(f"{op} target is not numeric: {value!r}")

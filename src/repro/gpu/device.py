@@ -1,0 +1,94 @@
+"""Device catalogue and the roofline timing primitive.
+
+Specifications are the published numbers for the boards the course used:
+the GRID K520 / Tesla K40-class parts in AWS G2 instances and the Tesla
+K80 in P2 instances (paper §VII, "Resource Usage").  Absolute accuracy is
+not the goal — relative capability and the compute-vs-bandwidth crossover
+are what shape the reproduced results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class GPUDevice:
+    """An accelerator described by its roofline parameters."""
+
+    name: str
+    sm_count: int
+    clock_ghz: float
+    peak_gflops_fp32: float      # peak single-precision throughput
+    mem_bandwidth_gbs: float     # peak DRAM bandwidth, GB/s
+    mem_gb: float                # device memory capacity
+    kernel_launch_us: float = 5.0  # fixed per-launch overhead
+
+    def time_for(self, flops: float, bytes_moved: float,
+                 compute_efficiency: float = 1.0,
+                 bandwidth_efficiency: float = 1.0) -> float:
+        """Roofline kernel time in seconds.
+
+        A kernel is limited by whichever of compute or memory traffic takes
+        longer at the achieved (efficiency-scaled) rates, plus launch
+        overhead.
+        """
+        compute_efficiency = max(1e-4, min(1.0, compute_efficiency))
+        bandwidth_efficiency = max(1e-4, min(1.0, bandwidth_efficiency))
+        t_compute = flops / (self.peak_gflops_fp32 * 1e9 * compute_efficiency)
+        t_memory = bytes_moved / (self.mem_bandwidth_gbs * 1e9 *
+                                  bandwidth_efficiency)
+        return max(t_compute, t_memory) + self.kernel_launch_us * 1e-6
+
+    @property
+    def arithmetic_intensity_knee(self) -> float:
+        """FLOP/byte at which the roofline turns over."""
+        return self.peak_gflops_fp32 / self.mem_bandwidth_gbs
+
+
+@dataclass(frozen=True)
+class CPUDevice:
+    """A host CPU core for the serial baseline."""
+
+    name: str
+    clock_ghz: float
+    flops_per_cycle: float = 1.0   # scalar code, no SIMD, no threading
+    mem_bandwidth_gbs: float = 10.0
+
+    @property
+    def peak_gflops(self) -> float:
+        return self.clock_ghz * self.flops_per_cycle
+
+    def time_for(self, flops: float, bytes_moved: float = 0.0,
+                 efficiency: float = 0.25) -> float:
+        """Serial execution time; low default efficiency models an
+        unoptimised scalar loop nest."""
+        efficiency = max(1e-4, min(1.0, efficiency))
+        t_compute = flops / (self.peak_gflops * 1e9 * efficiency)
+        t_memory = bytes_moved / (self.mem_bandwidth_gbs * 1e9)
+        return max(t_compute, t_memory)
+
+
+#: Boards and hosts the reproduction knows about.
+DEVICE_CATALOG: Dict[str, object] = {
+    # AWS G2-class GPU (the "less powerful" early-project boards, §VII).
+    "K40": GPUDevice(name="Tesla K40", sm_count=15, clock_ghz=0.745,
+                     peak_gflops_fp32=4290.0, mem_bandwidth_gbs=288.0,
+                     mem_gb=12.0),
+    # AWS P2 GPU (one logical GPU of the dual-die K80).
+    "K80": GPUDevice(name="Tesla K80 (one die)", sm_count=13,
+                     clock_ghz=0.875, peak_gflops_fp32=4368.0,
+                     mem_bandwidth_gbs=240.0, mem_gb=12.0),
+    # Host CPU used for the serial baseline.
+    "XEON": CPUDevice(name="Xeon E5-2670", clock_ghz=2.6),
+}
+
+
+def get_device(name: str):
+    try:
+        return DEVICE_CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; known: {sorted(DEVICE_CATALOG)}"
+        ) from None

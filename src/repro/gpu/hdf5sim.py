@@ -1,0 +1,87 @@
+"""A minimal HDF5-like binary container for named numeric datasets.
+
+The course's model and test data travel in HDF5 files (paper footnote 2:
+"the project uses the HDF5 format to store the neural network's model and
+test data files").  libhdf5 is unavailable offline, so this module
+implements the one capability the system actually exercises — a single
+file holding multiple named n-dimensional arrays — with a compact
+self-describing binary layout:
+
+``H5SIM1\\0`` magic | uint32 count | per dataset:
+uint16 name-length | name utf-8 | 8-byte dtype tag | uint8 ndim |
+uint64 shape... | raw little-endian array bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ReproError
+
+MAGIC = b"H5SIM1\x00"
+
+_SUPPORTED_DTYPES = {"float32", "float64", "int32", "int64", "uint8"}
+
+
+class H5SimError(ReproError):
+    pass
+
+
+def write_h5s(datasets: Dict[str, np.ndarray]) -> bytes:
+    """Serialise ``{name: array}`` into the container format."""
+    out = [MAGIC, struct.pack("<I", len(datasets))]
+    for name in sorted(datasets):
+        arr = np.ascontiguousarray(datasets[name])
+        dtype = arr.dtype.name
+        if dtype not in _SUPPORTED_DTYPES:
+            raise H5SimError(f"unsupported dtype {dtype!r} for {name!r}")
+        name_bytes = name.encode("utf-8")
+        out.append(struct.pack("<H", len(name_bytes)))
+        out.append(name_bytes)
+        out.append(dtype.encode("ascii").ljust(8, b"\x00"))
+        out.append(struct.pack("<B", arr.ndim))
+        for dim in arr.shape:
+            out.append(struct.pack("<Q", dim))
+        out.append(arr.astype(arr.dtype, order="C").tobytes())
+    return b"".join(out)
+
+
+def read_h5s(blob: bytes) -> Dict[str, np.ndarray]:
+    """Parse a container back into ``{name: array}``."""
+    if not blob.startswith(MAGIC):
+        raise H5SimError("bad magic: not an H5SIM container")
+    offset = len(MAGIC)
+    (count,) = struct.unpack_from("<I", blob, offset)
+    offset += 4
+    datasets: Dict[str, np.ndarray] = {}
+    for _ in range(count):
+        (name_len,) = struct.unpack_from("<H", blob, offset)
+        offset += 2
+        name = blob[offset:offset + name_len].decode("utf-8")
+        offset += name_len
+        dtype = blob[offset:offset + 8].rstrip(b"\x00").decode("ascii")
+        offset += 8
+        if dtype not in _SUPPORTED_DTYPES:
+            raise H5SimError(f"unsupported dtype tag {dtype!r}")
+        (ndim,) = struct.unpack_from("<B", blob, offset)
+        offset += 1
+        shape = []
+        for _ in range(ndim):
+            (dim,) = struct.unpack_from("<Q", blob, offset)
+            offset += 8
+            shape.append(dim)
+        size = int(np.prod(shape)) if shape else 1
+        nbytes = size * np.dtype(dtype).itemsize
+        if offset + nbytes > len(blob):
+            raise H5SimError(f"truncated container reading {name!r}")
+        arr = np.frombuffer(blob[offset:offset + nbytes], dtype=dtype)
+        offset += nbytes
+        datasets[name] = arr.reshape(shape).copy()
+    return datasets
+
+
+def list_datasets(blob: bytes) -> List[str]:
+    return sorted(read_h5s(blob))

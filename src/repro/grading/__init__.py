@@ -1,0 +1,29 @@
+"""Instructor-side grading tools (§VI and §VII "Project Grading").
+
+The rubric: performance 30%, functionality/correctness 20%, code quality
+10%, written report 40%.  RAI automated ① re-running projects multiple
+times recording the best observed performance and ② recomputing the
+ranking; ③ report grading stayed manual.  This subpackage implements the
+downloader ("queries the database for the final submissions and downloads
+the corresponding files"), the re-run-take-min evaluator, the rubric, and
+grade-report generation.
+"""
+
+from repro.grading.rubric import Rubric, RubricWeights, GradeBreakdown
+from repro.grading.download import SubmissionDownloader, DownloadedSubmission
+from repro.grading.evaluator import GradingEvaluator, EvaluationRun
+from repro.grading.reports import GradeReport, generate_grade_reports
+from repro.grading.audit import CourseworkAuditor
+
+__all__ = [
+    "Rubric",
+    "RubricWeights",
+    "GradeBreakdown",
+    "SubmissionDownloader",
+    "DownloadedSubmission",
+    "GradingEvaluator",
+    "EvaluationRun",
+    "GradeReport",
+    "generate_grade_reports",
+    "CourseworkAuditor",
+]

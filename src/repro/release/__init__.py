@@ -1,0 +1,23 @@
+"""Client build and delivery pipeline (§VII "RAI Client Delivery").
+
+The course kept a *master* (stable) and a *devel* branch; a continuous
+build system cross-compiled both to ten OS/architecture targets, uploaded
+the binaries to S3, and linked them on the project page (Figure 3).  The
+commit hash and build date were embedded in each binary so bug reports
+could be bisected to the offending commit.
+"""
+
+from repro.release.buildmatrix import BuildTarget, BUILD_MATRIX, Artifact
+from repro.release.ci import Branch, Commit, ContinuousBuilder
+from repro.release.delivery import DownloadPage, find_regression
+
+__all__ = [
+    "BuildTarget",
+    "BUILD_MATRIX",
+    "Artifact",
+    "Branch",
+    "Commit",
+    "ContinuousBuilder",
+    "DownloadPage",
+    "find_regression",
+]

@@ -1,0 +1,68 @@
+"""The ten-target cross-compilation matrix of Figure 3."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class BuildTarget:
+    """One OS/architecture pair the client is built for."""
+
+    os: str
+    arch: str
+
+    @property
+    def key(self) -> str:
+        return f"{self.os}-{self.arch}"
+
+    @property
+    def binary_name(self) -> str:
+        suffix = ".exe" if self.os == "windows" else ""
+        return f"rai-{self.os}-{self.arch}{suffix}"
+
+
+#: Figure 3's exact rows: 6 Linux, 2 Darwin, 2 Windows targets.
+BUILD_MATRIX = (
+    BuildTarget("linux", "i386"),
+    BuildTarget("linux", "amd64"),
+    BuildTarget("linux", "armv5"),
+    BuildTarget("linux", "armv6"),
+    BuildTarget("linux", "armv7"),
+    BuildTarget("linux", "arm64"),
+    BuildTarget("darwin", "i386"),
+    BuildTarget("darwin", "amd64"),
+    BuildTarget("windows", "i386"),
+    BuildTarget("windows", "amd64"),
+)
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """A built client binary with its embedded build metadata.
+
+    "The commit version information and build date are embedded within the
+    RAI binary.  Students would provide this information when they
+    reported bugs, which allowed us to narrow which commit introduced the
+    regression." (§VII)
+    """
+
+    target: BuildTarget
+    branch: str
+    commit: str
+    version: str
+    build_date: str
+    url: str
+    size_bytes: int
+
+    def embedded_info(self) -> Dict[str, str]:
+        """What ``rai version`` prints for this binary."""
+        return {
+            "version": self.version,
+            "branch": self.branch,
+            "commit": self.commit,
+            "build_date": self.build_date,
+            "os": self.target.os,
+            "arch": self.target.arch,
+        }

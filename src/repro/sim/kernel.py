@@ -1,0 +1,275 @@
+"""The simulator core: event calendar and generator-based processes."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from types import GeneratorType
+from typing import Any, Generator, Optional
+
+from repro.errors import EmptySchedule, Interrupt, SimulationError, StopSimulation
+from repro.sim.events import PENDING, AllOf, AnyOf, Event, Timeout
+
+#: Priority for events that must run before same-time normal events
+#: (used by interrupts so they preempt the interrupted process's own resume).
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Events are totally ordered by ``(time, priority, sequence_number)``, so
+    two runs with identical inputs produce identical traces — the property
+    all benchmark reproducibility in this package rests on.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of :attr:`now` (simulated seconds).
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list = []  # heap of (time, priority, seq, event)
+        self._seq = count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional["Process"]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event factories ----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create an untriggered event bound to this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> "Process":
+        """Start a new process from a generator function's generator."""
+        return Process(self, generator)
+
+    def all_of(self, events) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0,
+                  priority: int = PRIORITY_NORMAL) -> None:
+        if event._scheduled:
+            return
+        event._scheduled = True
+        heapq.heappush(self._queue, (self._now + delay, priority,
+                                     next(self._seq), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no more events scheduled") from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # An unhandled failure: surface it rather than losing it.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run until ``until`` (an event, a time, or exhaustion).
+
+        - ``until is None``: run until no events remain.
+        - ``until`` is a number: run until simulated time reaches it.
+        - ``until`` is an :class:`Event`: run until it is processed and
+          return its value (raising its exception if it failed).
+        """
+        if until is None:
+            stop_event = None
+            horizon = None
+        elif isinstance(until, Event):
+            stop_event = until
+            horizon = None
+            if until.processed:
+                if until.ok:
+                    return until.value
+                raise until.value
+            until.callbacks.append(_stop_simulation)
+        else:
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError(
+                    f"until ({horizon}) must not be before now ({self._now})")
+            stop_event = None
+
+        try:
+            while True:
+                if horizon is not None:
+                    nxt = self.peek()
+                    if nxt > horizon:
+                        self._now = horizon
+                        return None
+                try:
+                    self.step()
+                except EmptySchedule:
+                    if stop_event is not None:
+                        raise SimulationError(
+                            "ran out of events before the awaited event "
+                            "triggered") from None
+                    if horizon is not None:
+                        self._now = horizon
+                    return None
+        except StopSimulation as stop:
+            event = stop.value
+            if event.ok:
+                return event.value
+            raise event.value
+
+    def run_process(self, generator: Generator) -> Any:
+        """Convenience: start a process and run until it finishes."""
+        return self.run(until=self.process(generator))
+
+
+def _stop_simulation(event: Event) -> None:
+    if not event._ok:
+        event._defused = True
+    raise StopSimulation(event)
+
+
+class Process(Event):
+    """A coroutine executing in simulated time.
+
+    A process wraps a generator that yields :class:`Event` objects; the
+    kernel resumes the generator with each event's value (or throws the
+    event's exception into it).  The process itself is an event that
+    triggers when the generator returns, carrying its return value.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = None):
+        if not isinstance(generator, GeneratorType):
+            raise TypeError(
+                f"process() requires a generator, got {type(generator).__name__}")
+        super().__init__(sim)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or generator.__name__
+        # Bootstrap: resume once at the current time.
+        init = Event(sim)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        sim._schedule(init)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`~repro.errors.Interrupt` into the process.
+
+        The interrupt is delivered as an urgent event so that it preempts a
+        pending resume scheduled for the same simulated instant.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated; cannot interrupt")
+        if self is self.sim.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        event = Event(self.sim)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks.append(self._resume)
+        self.sim._schedule(event, priority=PRIORITY_URGENT)
+
+    # -- internals ----------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            # Process already ended (e.g. interrupt raced with completion).
+            return
+        self.sim._active_process = self
+
+        while True:
+            # Detach from whatever we were waiting on.
+            if (self._target is not None and not self._target.processed
+                    and self._target.callbacks is not None
+                    and self._resume in self._target.callbacks):
+                self._target.callbacks.remove(self._resume)
+            self._target = None
+
+            try:
+                if event._ok:
+                    target = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    target = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                self.sim._schedule(self)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                self.sim._schedule(self)
+                break
+
+            if not isinstance(target, Event):
+                exc = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {target!r}")
+                try:
+                    self._generator.throw(exc)
+                except StopIteration as stop:
+                    self._ok = True
+                    self._value = stop.value
+                except BaseException as err:
+                    self._ok = False
+                    self._value = err
+                self.sim._schedule(self)
+                break
+            if target.sim is not self.sim:
+                raise SimulationError("yielded event belongs to another simulator")
+
+            if target.processed:
+                # Already resolved: loop around immediately with its outcome.
+                event = target
+                continue
+
+            self._target = target
+            target.callbacks.append(self._resume)
+            break
+
+        self.sim._active_process = None
+
+    def __repr__(self):
+        state = "alive" if self.is_alive else ("ok" if self._ok else "failed")
+        return f"<Process {self.name!r} {state}>"

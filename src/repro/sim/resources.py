@@ -1,0 +1,250 @@
+"""Queued resources for the simulation kernel.
+
+Three primitives cover everything the RAI model needs:
+
+- :class:`Resource` — ``capacity`` interchangeable slots with a FIFO wait
+  queue (worker job slots, GPU devices).
+- :class:`Store` — an unbounded (or bounded) FIFO of Python objects with
+  blocking ``get`` (message-broker channels, job queues).
+- :class:`Container` — a continuous quantity with blocking ``put``/``get``
+  (byte pools, budget accounting).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+
+class Request(Event):
+    """Pending acquisition of one slot of a :class:`Resource`."""
+
+    __slots__ = ("resource", "priority", "key")
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.priority = priority
+        self.key = (priority, next(resource._tiebreak))
+        resource._request(self)
+
+    def cancel(self) -> None:
+        """Withdraw an un-granted request (safe to call after grant)."""
+        if self in self.resource._waiting:
+            self.resource._waiting.remove(self)
+
+    # context-manager sugar: ``with res.request() as req: yield req``
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.resource.release(self)
+        return False
+
+
+class Resource:
+    """``capacity`` identical slots with FIFO (or priority) granting."""
+
+    def __init__(self, sim, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.users: List[Request] = []
+        self._waiting: List[Request] = []
+        import itertools
+        self._tiebreak = itertools.count()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def request(self, priority: int = 0) -> Request:
+        """Return an event that fires once a slot is granted."""
+        return Request(self, priority)
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted slot (idempotent for safety)."""
+        if request in self.users:
+            self.users.remove(request)
+            self._grant()
+        else:
+            request.cancel()
+
+    # -- internals ----------------------------------------------------------
+
+    def _request(self, request: Request) -> None:
+        self._waiting.append(request)
+        self._grant()
+
+    def _select_next(self) -> Optional[Request]:
+        return self._waiting[0] if self._waiting else None
+
+    def _grant(self) -> None:
+        while len(self.users) < self.capacity:
+            nxt = self._select_next()
+            if nxt is None:
+                return
+            self._waiting.remove(nxt)
+            self.users.append(nxt)
+            nxt.succeed(nxt)
+
+
+class PriorityResource(Resource):
+    """A resource granting the lowest ``priority`` value first, FIFO-tied."""
+
+    def _select_next(self) -> Optional[Request]:
+        if not self._waiting:
+            return None
+        return min(self._waiting, key=lambda r: r.key)
+
+
+class StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.sim)
+        self.item = item
+        store._puts.append(self)
+        store._dispatch()
+
+
+class StoreGet(Event):
+    __slots__ = ("filter",)
+
+    def __init__(self, store: "Store", filter=None):
+        super().__init__(store.sim)
+        self.filter = filter
+        store._gets.append(self)
+        store._dispatch()
+
+    def cancel(self) -> None:
+        """Withdraw an unfulfilled get (used by consumers shutting down)."""
+        try:
+            self.sim  # attribute check only
+        finally:
+            pass
+
+
+class Store:
+    """FIFO store of items with blocking ``get`` and optional capacity.
+
+    ``get(filter=...)`` takes the first item satisfying the predicate,
+    which the broker uses to implement per-route matching without busy
+    waiting.
+    """
+
+    def __init__(self, sim, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be > 0")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._puts: Deque[StorePut] = deque()
+        self._gets: Deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Return an event that fires once the item is stored."""
+        return StorePut(self, item)
+
+    def get(self, filter=None) -> StoreGet:
+        """Return an event that fires with the next (matching) item."""
+        return StoreGet(self, filter)
+
+    def peek_all(self) -> list:
+        """Non-destructive snapshot of queued items (for stats/tests)."""
+        return list(self.items)
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Admit pending puts while there is room.
+            while self._puts and len(self.items) < self.capacity:
+                put = self._puts.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            # Serve waiting gets.
+            _missing = object()
+            remaining: Deque[StoreGet] = deque()
+            while self._gets:
+                get = self._gets.popleft()
+                if get.triggered:  # cancelled/raced
+                    progressed = True
+                    continue
+                matched = _missing
+                if get.filter is None:
+                    if self.items:
+                        matched = self.items.popleft()
+                else:
+                    for i, item in enumerate(self.items):
+                        if get.filter(item):
+                            matched = item
+                            del self.items[i]
+                            break
+                if matched is not _missing:
+                    get.succeed(matched)
+                    progressed = True
+                else:
+                    remaining.append(get)
+            self._gets = remaining
+
+
+class Container:
+    """A continuous quantity (e.g. bytes) with blocking put/get."""
+
+    def __init__(self, sim, capacity: float = float("inf"), init: float = 0.0):
+        if init < 0 or init > capacity:
+            raise ValueError("init must be within [0, capacity]")
+        self.sim = sim
+        self.capacity = capacity
+        self.level = float(init)
+        self._puts: Deque = deque()
+        self._gets: Deque = deque()
+
+    def put(self, amount: float) -> Event:
+        if amount <= 0:
+            raise ValueError("amount must be > 0")
+        evt = Event(self.sim)
+        self._puts.append((evt, amount))
+        self._dispatch()
+        return evt
+
+    def get(self, amount: float) -> Event:
+        if amount <= 0:
+            raise ValueError("amount must be > 0")
+        evt = Event(self.sim)
+        self._gets.append((evt, amount))
+        self._dispatch()
+        return evt
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._puts:
+                evt, amount = self._puts[0]
+                if self.level + amount <= self.capacity:
+                    self._puts.popleft()
+                    self.level += amount
+                    evt.succeed()
+                    progressed = True
+            if self._gets:
+                evt, amount = self._gets[0]
+                if amount <= self.level:
+                    self._gets.popleft()
+                    self.level -= amount
+                    evt.succeed()
+                    progressed = True

@@ -1,0 +1,37 @@
+"""Lifecycle (expiry) rules for buckets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.objects import StoredObject
+
+#: Seconds in one 30-day "month" — the unit the paper quotes lifetimes in.
+MONTH_SECONDS = 30 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class LifecycleRule:
+    """Expire objects under ``prefix`` after ``expire_after`` seconds.
+
+    ``since`` selects the reference clock: ``"last_use"`` reproduces the
+    client-upload rule ("deleted one month after the last use", §V step 3);
+    ``"creation"`` is the plain S3-style age rule.
+    """
+
+    prefix: str = ""
+    expire_after: float = MONTH_SECONDS
+    since: str = "last_use"
+
+    def __post_init__(self):
+        if self.since not in ("last_use", "creation"):
+            raise ValueError(f"invalid since={self.since!r}")
+        if self.expire_after <= 0:
+            raise ValueError("expire_after must be positive")
+
+    def matches(self, key: str) -> bool:
+        return key.startswith(self.prefix)
+
+    def is_expired(self, obj: StoredObject, now: float) -> bool:
+        ref = obj.last_used_at if self.since == "last_use" else obj.created_at
+        return (now - ref) >= self.expire_after

@@ -1,0 +1,74 @@
+"""Multipart uploads.
+
+Large ``.tar.bz2`` archives (the course stored 100 GB of them) are uploaded
+in parts so a dropped client connection only costs the part in flight, not
+the whole archive.  Parts may arrive in any order; ``complete`` assembles
+them by part number.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from typing import Dict, Optional
+
+from repro.errors import StorageError, UploadNotFound
+
+_upload_counter = itertools.count(1)
+
+
+class MultipartUpload:
+    """A staged, resumable object upload."""
+
+    def __init__(self, store, bucket_name: str, key: str,
+                 metadata: Optional[dict] = None):
+        self.store = store
+        self.bucket_name = bucket_name
+        self.key = key
+        self.metadata = dict(metadata or {})
+        self.upload_id = f"upload-{next(_upload_counter):06d}"
+        self.parts: Dict[int, bytes] = {}
+        self._done = False
+
+    def upload_part(self, part_number: int, data: bytes) -> str:
+        """Stage one part; returns the part's etag. Re-uploads replace."""
+        if self._done:
+            raise UploadNotFound(self.upload_id)
+        if part_number < 1:
+            raise StorageError("part numbers start at 1")
+        if not isinstance(data, (bytes, bytearray)):
+            raise TypeError("part data must be bytes")
+        self.parts[part_number] = bytes(data)
+        return hashlib.md5(data).hexdigest()
+
+    @property
+    def staged_bytes(self) -> int:
+        return sum(len(p) for p in self.parts.values())
+
+    def complete(self):
+        """Assemble parts in order into the final object."""
+        if self._done:
+            raise UploadNotFound(self.upload_id)
+        if not self.parts:
+            raise StorageError("cannot complete an upload with no parts")
+        numbers = sorted(self.parts)
+        if numbers != list(range(1, len(numbers) + 1)):
+            raise StorageError(f"non-contiguous part numbers: {numbers}")
+        body = b"".join(self.parts[n] for n in numbers)
+        # S3-style multipart etag: md5 of concatenated part md5s, "-N".
+        digest = hashlib.md5(
+            b"".join(hashlib.md5(self.parts[n]).digest() for n in numbers)
+        ).hexdigest()
+        etag = f"{digest}-{len(numbers)}"
+        obj = self.store.put_object(self.bucket_name, self.key, body,
+                                    metadata=self.metadata)
+        obj.etag = etag
+        self._done = True
+        self.store._finish_multipart(self)
+        return obj
+
+    def abort(self) -> None:
+        if not self._done:
+            self._done = True
+            self.parts.clear()
+            self.store._finish_multipart(self)

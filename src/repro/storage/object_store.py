@@ -1,0 +1,213 @@
+"""Buckets and the object store service."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import (
+    BucketAlreadyExists,
+    NoSuchBucket,
+    NoSuchKey,
+    PreconditionFailed,
+)
+from repro.sim.monitor import Counter
+from repro.storage.lifecycle import LifecycleRule
+from repro.storage.multipart import MultipartUpload
+from repro.storage.objects import StoredObject
+from repro.storage.presign import PresignSigner
+
+
+class Bucket:
+    """A flat namespace of keyed objects with lifecycle rules."""
+
+    def __init__(self, store: "ObjectStore", name: str):
+        self.store = store
+        self.name = name
+        self.objects: Dict[str, StoredObject] = {}
+        self.lifecycle_rules: List[LifecycleRule] = []
+
+    def add_lifecycle_rule(self, rule: LifecycleRule) -> None:
+        self.lifecycle_rules.append(rule)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(o.size for o in self.objects.values())
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+
+class ObjectStore:
+    """The file-server service (paper's Amazon S3 role).
+
+    All operations are instantaneous in simulated time; transfer *delays*
+    are modelled by the callers (client/worker) from byte counts and link
+    bandwidth, which keeps the store usable both inside simulations and in
+    plain unit tests.
+    """
+
+    def __init__(self, sim, secret: bytes = b"repro-object-store"):
+        self.sim = sim
+        self.buckets: Dict[str, Bucket] = {}
+        self.counters = Counter()
+        self._signer = PresignSigner(secret, clock=lambda: self.sim.now)
+        self._uploads: Dict[str, MultipartUpload] = {}
+
+    # -- buckets ------------------------------------------------------------
+
+    def create_bucket(self, name: str, exist_ok: bool = False) -> Bucket:
+        if name in self.buckets:
+            if exist_ok:
+                return self.buckets[name]
+            raise BucketAlreadyExists(name)
+        bucket = Bucket(self, name)
+        self.buckets[name] = bucket
+        return bucket
+
+    def bucket(self, name: str) -> Bucket:
+        try:
+            return self.buckets[name]
+        except KeyError:
+            raise NoSuchBucket(name) from None
+
+    # -- object operations ------------------------------------------------------------
+
+    def put_object(self, bucket_name: str, key: str, data: bytes,
+                   metadata: Optional[dict] = None,
+                   if_none_match: bool = False,
+                   padding_bytes: int = 0) -> StoredObject:
+        """Store an object; ``if_none_match`` makes the put create-only."""
+        bucket = self.bucket(bucket_name)
+        if if_none_match and key in bucket.objects:
+            raise PreconditionFailed(f"{bucket_name}/{key} already exists")
+        obj = StoredObject(key, data, created_at=self.sim.now,
+                           metadata=metadata, padding_bytes=padding_bytes)
+        bucket.objects[key] = obj
+        self.counters.incr("puts")
+        self.counters.incr("bytes_in", obj.size)
+        return obj
+
+    def get_object(self, bucket_name: str, key: str) -> StoredObject:
+        bucket = self.bucket(bucket_name)
+        try:
+            obj = bucket.objects[key]
+        except KeyError:
+            raise NoSuchKey(f"{bucket_name}/{key}") from None
+        obj.last_used_at = self.sim.now
+        self.counters.incr("gets")
+        self.counters.incr("bytes_out", obj.size)
+        return obj
+
+    def head_object(self, bucket_name: str, key: str) -> dict:
+        bucket = self.bucket(bucket_name)
+        try:
+            return bucket.objects[key].head()
+        except KeyError:
+            raise NoSuchKey(f"{bucket_name}/{key}") from None
+
+    def object_exists(self, bucket_name: str, key: str) -> bool:
+        return key in self.bucket(bucket_name).objects
+
+    def delete_object(self, bucket_name: str, key: str,
+                      missing_ok: bool = True) -> bool:
+        bucket = self.bucket(bucket_name)
+        if key not in bucket.objects:
+            if missing_ok:
+                return False
+            raise NoSuchKey(f"{bucket_name}/{key}")
+        del bucket.objects[key]
+        self.counters.incr("deletes")
+        return True
+
+    def copy_object(self, src_bucket: str, src_key: str,
+                    dst_bucket: str, dst_key: str) -> StoredObject:
+        src = self.get_object(src_bucket, src_key)
+        return self.put_object(dst_bucket, dst_key, src.data,
+                               metadata=src.metadata)
+
+    def list_objects(self, bucket_name: str, prefix: str = "") -> List[dict]:
+        """Sorted HEAD views of all keys starting with ``prefix``."""
+        bucket = self.bucket(bucket_name)
+        return [bucket.objects[k].head()
+                for k in sorted(bucket.objects) if k.startswith(prefix)]
+
+    def iter_keys(self, bucket_name: str, prefix: str = "") -> Iterator[str]:
+        for key in sorted(self.bucket(bucket_name).objects):
+            if key.startswith(prefix):
+                yield key
+
+    # -- multipart ------------------------------------------------------------
+
+    def initiate_multipart(self, bucket_name: str, key: str,
+                           metadata: Optional[dict] = None) -> MultipartUpload:
+        self.bucket(bucket_name)  # existence check
+        upload = MultipartUpload(self, bucket_name, key, metadata)
+        self._uploads[upload.upload_id] = upload
+        return upload
+
+    def _finish_multipart(self, upload: MultipartUpload) -> None:
+        self._uploads.pop(upload.upload_id, None)
+
+    # -- presigned URLs ------------------------------------------------------------
+
+    def presign_get(self, bucket_name: str, key: str,
+                    expires_in: float = 3600.0) -> str:
+        self.head_object(bucket_name, key)  # must exist now
+        return self._signer.sign("GET", bucket_name, key,
+                                 self.sim.now + expires_in)
+
+    def presign_put(self, bucket_name: str, key: str,
+                    expires_in: float = 3600.0) -> str:
+        self.bucket(bucket_name)
+        return self._signer.sign("PUT", bucket_name, key,
+                                 self.sim.now + expires_in)
+
+    def redeem_get(self, token: str) -> StoredObject:
+        claim = self._signer.verify(token, expected_method="GET")
+        return self.get_object(claim.bucket, claim.key)
+
+    def redeem_put(self, token: str, data: bytes,
+                   metadata: Optional[dict] = None) -> StoredObject:
+        claim = self._signer.verify(token, expected_method="PUT")
+        return self.put_object(claim.bucket, claim.key, data, metadata)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def run_lifecycle_sweep(self) -> List[str]:
+        """Delete every expired object; returns ``bucket/key`` names."""
+        now = self.sim.now
+        removed: List[str] = []
+        for bucket in self.buckets.values():
+            doomed = [key for key, obj in bucket.objects.items()
+                      if any(rule.matches(key) and rule.is_expired(obj, now)
+                             for rule in bucket.lifecycle_rules)]
+            for key in doomed:
+                del bucket.objects[key]
+                removed.append(f"{bucket.name}/{key}")
+        self.counters.incr("lifecycle_expired", len(removed))
+        return removed
+
+    def lifecycle_sweeper(self, interval: float = 24 * 3600.0):
+        """A kernel process running sweeps every ``interval`` seconds."""
+        while True:
+            yield self.sim.timeout(interval)
+            self.run_lifecycle_sweep()
+
+    # -- observability ------------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(b.total_bytes for b in self.buckets.values())
+
+    @property
+    def total_objects(self) -> int:
+        return sum(len(b) for b in self.buckets.values())
+
+    def stats(self) -> dict:
+        return {
+            "buckets": {name: {"objects": len(b), "bytes": b.total_bytes}
+                        for name, b in self.buckets.items()},
+            "total_bytes": self.total_bytes,
+            "total_objects": self.total_objects,
+            "counters": self.counters.as_dict(),
+        }

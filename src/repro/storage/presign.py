@@ -1,0 +1,69 @@
+"""Presigned URL tokens.
+
+The worker sends "the URL of the uploaded /build directory ... as a message
+to the ``log-${job_id}`` topic" (§V, Worker Operations step 6), and the
+client downloads job output through it.  Tokens are HMAC-SHA256-signed
+claims with an expiry timestamp, so possession of a token grants exactly
+one object for a bounded time — no broker or database credentials needed.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import hmac
+import json
+from dataclasses import dataclass
+
+from repro.errors import ExpiredToken, SignatureMismatch
+
+
+@dataclass(frozen=True)
+class PresignedToken:
+    """A verified presign claim."""
+
+    method: str
+    bucket: str
+    key: str
+    expires_at: float
+
+
+class PresignSigner:
+    """Signs and verifies presigned tokens against a store secret."""
+
+    def __init__(self, secret: bytes, clock):
+        if not secret:
+            raise ValueError("secret must be non-empty")
+        self._secret = bytes(secret)
+        self._clock = clock
+
+    def sign(self, method: str, bucket: str, key: str,
+             expires_at: float) -> str:
+        payload = json.dumps(
+            {"m": method, "b": bucket, "k": key, "e": float(expires_at)},
+            sort_keys=True,
+        ).encode("utf-8")
+        sig = hmac.new(self._secret, payload, hashlib.sha256).digest()
+        return (base64.urlsafe_b64encode(payload).decode("ascii") + "." +
+                base64.urlsafe_b64encode(sig).decode("ascii"))
+
+    def verify(self, token: str, expected_method: str = None) -> PresignedToken:
+        try:
+            payload_b64, sig_b64 = token.split(".", 1)
+            payload = base64.urlsafe_b64decode(payload_b64.encode("ascii"))
+            sig = base64.urlsafe_b64decode(sig_b64.encode("ascii"))
+        except (ValueError, TypeError) as exc:
+            raise SignatureMismatch(f"malformed token: {exc}") from exc
+        expected = hmac.new(self._secret, payload, hashlib.sha256).digest()
+        if not hmac.compare_digest(sig, expected):
+            raise SignatureMismatch("token signature does not verify")
+        claim = json.loads(payload)
+        token_obj = PresignedToken(method=claim["m"], bucket=claim["b"],
+                                   key=claim["k"], expires_at=claim["e"])
+        if expected_method is not None and token_obj.method != expected_method:
+            raise SignatureMismatch(
+                f"token is for {token_obj.method}, not {expected_method}")
+        if self._clock() > token_obj.expires_at:
+            raise ExpiredToken(
+                f"token for {token_obj.bucket}/{token_obj.key} expired")
+        return token_obj

@@ -1,0 +1,290 @@
+"""The virtual filesystem proper."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import (
+    FileExists,
+    FileNotFound,
+    IsADirectory,
+    NotADirectory,
+    ReadOnlyFilesystem,
+)
+from repro.vfs.node import DirNode, FileNode
+from repro.vfs.path import is_within, normalize, parent_of, split_parts
+
+Node = Union[FileNode, DirNode]
+
+
+class VirtualFileSystem:
+    """An in-memory tree of files and directories.
+
+    Parameters
+    ----------
+    clock:
+        Optional zero-argument callable supplying mtimes (normally the
+        simulator's ``lambda: sim.now``); defaults to a constant ``0.0`` so
+        that filesystems built outside a simulation stay deterministic.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self.root = DirNode()
+        self._clock = clock or (lambda: 0.0)
+        #: Directory prefixes that reject writes (used for the ``/src``
+        #: read-only project mount inside containers).
+        self._readonly_prefixes: List[str] = []
+
+    # -- read-only enforcement ----------------------------------------------
+
+    def set_readonly(self, prefix: str) -> None:
+        """Make ``prefix`` and everything beneath it immutable."""
+        self._readonly_prefixes.append(normalize(prefix))
+
+    def clear_readonly(self, prefix: str) -> None:
+        self._readonly_prefixes.remove(normalize(prefix))
+
+    def _check_writable(self, path: str) -> None:
+        for prefix in self._readonly_prefixes:
+            if is_within(path, prefix):
+                raise ReadOnlyFilesystem(f"{path} is read-only (under {prefix})")
+
+    # -- resolution -----------------------------------------------------------
+
+    def _resolve(self, path: str) -> Node:
+        node: Node = self.root
+        for part in split_parts(path):
+            if not isinstance(node, DirNode):
+                raise NotADirectory(path)
+            try:
+                node = node.children[part]
+            except KeyError:
+                raise FileNotFound(path) from None
+        return node
+
+    def _resolve_dir(self, path: str) -> DirNode:
+        node = self._resolve(path)
+        if not isinstance(node, DirNode):
+            raise NotADirectory(path)
+        return node
+
+    def _resolve_file(self, path: str) -> FileNode:
+        node = self._resolve(path)
+        if isinstance(node, DirNode):
+            raise IsADirectory(path)
+        return node
+
+    # -- queries -----------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        try:
+            self._resolve(path)
+            return True
+        except (FileNotFound, NotADirectory):
+            return False
+
+    def isfile(self, path: str) -> bool:
+        try:
+            return isinstance(self._resolve(path), FileNode)
+        except (FileNotFound, NotADirectory):
+            return False
+
+    def isdir(self, path: str) -> bool:
+        try:
+            return isinstance(self._resolve(path), DirNode)
+        except (FileNotFound, NotADirectory):
+            return False
+
+    def listdir(self, path: str = "/") -> List[str]:
+        return sorted(self._resolve_dir(path).children)
+
+    def read_file(self, path: str) -> bytes:
+        return self._resolve_file(path).data
+
+    def read_text(self, path: str, encoding: str = "utf-8") -> str:
+        return self.read_file(path).decode(encoding)
+
+    def stat(self, path: str) -> dict:
+        node = self._resolve(path)
+        if isinstance(node, FileNode):
+            return {"type": "file", "size": node.size, "mtime": node.mtime,
+                    "executable": node.executable}
+        return {"type": "dir", "entries": len(node.children), "mtime": node.mtime}
+
+    def walk(self, top: str = "/") -> Iterator[Tuple[str, List[str], List[str]]]:
+        """Yield ``(dirpath, dirnames, filenames)`` in sorted order."""
+        top = normalize(top)
+        node = self._resolve_dir(top)
+        dirs, files = [], []
+        for name in sorted(node.children):
+            child = node.children[name]
+            (dirs if isinstance(child, DirNode) else files).append(name)
+        yield top, dirs, files
+        for name in dirs:
+            sub = top.rstrip("/") + "/" + name if top != "/" else "/" + name
+            yield from self.walk(sub)
+
+    def iter_files(self, top: str = "/") -> Iterator[str]:
+        """Yield every file path under ``top`` in sorted order."""
+        for dirpath, _dirs, files in self.walk(top):
+            for name in files:
+                yield dirpath.rstrip("/") + "/" + name if dirpath != "/" else "/" + name
+
+    def tree_size(self, top: str = "/") -> int:
+        """Total bytes of all files under ``top``."""
+        return sum(self._resolve_file(p).size for p in self.iter_files(top))
+
+    def file_count(self, top: str = "/") -> int:
+        return sum(1 for _ in self.iter_files(top))
+
+    # -- mutation ------------------------------------------------------------
+
+    def mkdir(self, path: str, parents: bool = False,
+              exist_ok: bool = False) -> None:
+        path = normalize(path)
+        self._check_writable(path)
+        parts = split_parts(path)
+        if not parts:
+            if exist_ok:
+                return
+            raise FileExists("/")
+        node = self.root
+        for i, part in enumerate(parts):
+            last = i == len(parts) - 1
+            child = node.children.get(part)
+            if child is None:
+                if not last and not parents:
+                    raise FileNotFound("/" + "/".join(parts[: i + 1]))
+                child = DirNode(mtime=self._clock())
+                node.children[part] = child
+            elif last:
+                if isinstance(child, FileNode):
+                    raise FileExists(path)
+                if not exist_ok:
+                    raise FileExists(path)
+            elif isinstance(child, FileNode):
+                raise NotADirectory("/" + "/".join(parts[: i + 1]))
+            node = child  # type: ignore[assignment]
+
+    def makedirs(self, path: str) -> None:
+        self.mkdir(path, parents=True, exist_ok=True)
+
+    def write_file(self, path: str, data: Union[bytes, str],
+                   create_parents: bool = True, executable: bool = False) -> None:
+        path = normalize(path)
+        self._check_writable(path)
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        parent = parent_of(path)
+        if create_parents:
+            self.makedirs(parent)
+        dirnode = self._resolve_dir(parent)
+        name = split_parts(path)[-1]
+        existing = dirnode.children.get(name)
+        if isinstance(existing, DirNode):
+            raise IsADirectory(path)
+        dirnode.children[name] = FileNode(data, mtime=self._clock(),
+                                          executable=executable)
+
+    def append_file(self, path: str, data: Union[bytes, str]) -> None:
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        existing = self.read_file(path) if self.isfile(path) else b""
+        self.write_file(path, existing + data)
+
+    def remove(self, path: str) -> None:
+        """Remove a single file."""
+        path = normalize(path)
+        self._check_writable(path)
+        parent = self._resolve_dir(parent_of(path))
+        name = split_parts(path)[-1] if split_parts(path) else None
+        if name is None or name not in parent.children:
+            raise FileNotFound(path)
+        if isinstance(parent.children[name], DirNode):
+            raise IsADirectory(path)
+        del parent.children[name]
+
+    def rmtree(self, path: str) -> None:
+        """Remove a directory (or file) recursively."""
+        path = normalize(path)
+        self._check_writable(path)
+        parts = split_parts(path)
+        if not parts:
+            self.root = DirNode(mtime=self._clock())
+            return
+        parent = self._resolve_dir(parent_of(path))
+        if parts[-1] not in parent.children:
+            raise FileNotFound(path)
+        del parent.children[parts[-1]]
+
+    def copy(self, src: str, dst: str) -> None:
+        """Copy a file or directory tree (``cp -r`` semantics).
+
+        If ``dst`` is an existing directory, ``src`` is copied *into* it
+        under its basename, matching coreutils.
+        """
+        src, dst = normalize(src), normalize(dst)
+        node = self._resolve(src)
+        if self.isdir(dst):
+            base = split_parts(src)[-1] if split_parts(src) else ""
+            if base:
+                dst = dst.rstrip("/") + "/" + base if dst != "/" else "/" + base
+        self._check_writable(dst)
+        if is_within(dst, src) and isinstance(node, DirNode) and dst != src:
+            raise FileExists(f"cannot copy {src} into itself: {dst}")
+        clone = node.clone()
+        parent = parent_of(dst)
+        self.makedirs(parent)
+        name = split_parts(dst)[-1]
+        self._resolve_dir(parent).children[name] = clone
+
+    def move(self, src: str, dst: str) -> None:
+        self.copy(src, dst)
+        node = self._resolve(normalize(src))
+        if isinstance(node, DirNode):
+            self.rmtree(src)
+        else:
+            self.remove(src)
+
+    # -- tree import/export ----------------------------------------------------
+
+    def import_mapping(self, mapping: dict, base: str = "/") -> None:
+        """Write ``{relative_path: content}`` under ``base``.
+
+        A trailing ``/`` in a key creates an empty directory.
+        """
+        base = normalize(base)
+        self.makedirs(base)
+        for rel, content in mapping.items():
+            target = base.rstrip("/") + "/" + rel.lstrip("/") if base != "/" \
+                else "/" + rel.lstrip("/")
+            if rel.endswith("/"):
+                self.makedirs(target)
+            else:
+                self.write_file(target, content)
+
+    def export_mapping(self, top: str = "/") -> dict:
+        """Return ``{path_relative_to_top: bytes}`` for every file."""
+        top = normalize(top)
+        out = {}
+        prefix_len = len(top.rstrip("/")) + 1 if top != "/" else 1
+        for path in self.iter_files(top):
+            out[path[prefix_len:]] = self.read_file(path)
+        return out
+
+    def graft(self, other: "VirtualFileSystem", src: str, dst: str) -> None:
+        """Deep-copy ``other:src`` under ``self:dst`` (mount-by-copy)."""
+        node = other._resolve(normalize(src))
+        self._check_writable(normalize(dst))
+        self.makedirs(parent_of(normalize(dst)))
+        parts = split_parts(dst)
+        if not parts:
+            if not isinstance(node, DirNode):
+                raise NotADirectory(dst)
+            self.root = node.clone()
+            return
+        parent = self._resolve_dir(parent_of(normalize(dst)))
+        parent.children[parts[-1]] = node.clone()
+
+    def __repr__(self):
+        return f"<VirtualFileSystem {self.file_count()} files, {self.tree_size()}B>"

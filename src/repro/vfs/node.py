@@ -1,0 +1,48 @@
+"""Filesystem node types."""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+
+class FileNode:
+    """A regular file holding immutable ``bytes`` content."""
+
+    __slots__ = ("data", "mtime", "executable")
+
+    def __init__(self, data: bytes = b"", mtime: float = 0.0,
+                 executable: bool = False):
+        if not isinstance(data, (bytes, bytearray)):
+            raise TypeError(f"file data must be bytes, got {type(data).__name__}")
+        self.data = bytes(data)
+        self.mtime = float(mtime)
+        self.executable = bool(executable)
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    def clone(self) -> "FileNode":
+        return FileNode(self.data, self.mtime, self.executable)
+
+    def __repr__(self):
+        return f"<FileNode {self.size}B>"
+
+
+class DirNode:
+    """A directory mapping names to child nodes."""
+
+    __slots__ = ("children", "mtime")
+
+    def __init__(self, mtime: float = 0.0):
+        self.children: Dict[str, Union[FileNode, "DirNode"]] = {}
+        self.mtime = float(mtime)
+
+    def clone(self) -> "DirNode":
+        node = DirNode(self.mtime)
+        for name, child in self.children.items():
+            node.children[name] = child.clone()
+        return node
+
+    def __repr__(self):
+        return f"<DirNode {len(self.children)} entries>"

@@ -1,0 +1,139 @@
+"""Per-team optimisation trajectories and project-file synthesis.
+
+A team's code quality follows a logistic curve: near zero while they study
+the serial baseline, a steep middle as the GPU port lands, and a plateau
+at a skill-dependent final quality.  The synthesised sources carry the
+``@rai-sim`` markers the container toolchain interprets (see
+:mod:`repro.container.commands.base` for the substitution rationale).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.workload.students import Team
+
+
+@dataclass
+class TeamTrajectory:
+    """How one team's implementation evolves over the project."""
+
+    team: Team
+    #: Project-time fraction at which the team hits half its final quality.
+    midpoint: float = 0.55
+    #: Logistic steepness (fraction of project duration).
+    steepness: float = 0.10
+    #: Probability an early submission fails to compile (decays with time).
+    early_compile_error_rate: float = 0.12
+    late_compile_error_rate: float = 0.02
+    early_crash_rate: float = 0.10
+    late_crash_rate: float = 0.02
+    #: Probability a run has a correctness bug (accuracy < target).
+    early_wrong_rate: float = 0.25
+    late_wrong_rate: float = 0.04
+
+    @staticmethod
+    def for_team(team: Team, rng: np.random.Generator) -> "TeamTrajectory":
+        return TeamTrajectory(
+            team=team,
+            midpoint=float(rng.normal(0.55, 0.08)),
+            steepness=float(max(0.05, rng.normal(0.10, 0.03))),
+        )
+
+    # -- quality ------------------------------------------------------------
+
+    @property
+    def final_quality(self) -> float:
+        return self.team.skill
+
+    def quality_at(self, t_fraction: float) -> float:
+        """Optimisation quality at project-time fraction ``t``."""
+        x = (t_fraction - self.midpoint) / self.steepness
+        q = self.final_quality / (1.0 + math.exp(-x))
+        return max(0.0, min(1.0, q))
+
+    def on_gpu_at(self, t_fraction: float) -> bool:
+        """Whether the team has a GPU port yet (vs the CPU baseline)."""
+        return self.quality_at(t_fraction) > 0.02 * self.final_quality + 1e-9 \
+            and t_fraction > self.midpoint - 3 * self.steepness
+
+    # -- failure rates ------------------------------------------------------
+
+    def _decayed(self, early: float, late: float, t: float) -> float:
+        return early + (late - early) * min(1.0, max(0.0, t))
+
+    def compile_error_rate(self, t: float) -> float:
+        return self._decayed(self.early_compile_error_rate,
+                             self.late_compile_error_rate, t)
+
+    def crash_rate(self, t: float) -> float:
+        return self._decayed(self.early_crash_rate, self.late_crash_rate, t)
+
+    def wrong_rate(self, t: float) -> float:
+        return self._decayed(self.early_wrong_rate, self.late_wrong_rate, t)
+
+
+_CMAKELISTS = """\
+cmake_minimum_required(VERSION 3.2)
+project(ece408project LANGUAGES CXX CUDA)
+add_executable(ece408 main.cu)
+target_link_libraries(ece408 hdf5)
+"""
+
+_USAGE = """\
+Build with `rai` using the default build file.  The nvprof timeline is
+written to /build/timeline.nvprof; open it with nvvp.  Our kernel lives in
+main.cu; tiling parameters are the TILE_* constants at the top.
+"""
+
+
+def team_project_files(trajectory: TeamTrajectory, t_fraction: float,
+                       rng: np.random.Generator,
+                       final: bool = False) -> Dict[str, Union[str, bytes]]:
+    """Synthesise the team's project directory at this point in time.
+
+    The ``@rai-sim`` marker encodes quality/correctness/failure modes the
+    sandbox toolchain will honour.  Final submissions include the required
+    USAGE and report.pdf files and are debugged harder (failure rates are
+    halved).
+    """
+    t = min(1.0, max(0.0, t_fraction))
+    quality = trajectory.quality_at(t)
+    # Per-submission jitter: teams try experiments that sometimes regress.
+    quality = float(np.clip(quality + rng.normal(0.0, 0.02), 0.0, 1.0))
+
+    scale = 0.5 if final else 1.0
+    compile_ok = rng.random() >= trajectory.compile_error_rate(t) * scale
+    crash = rng.random() < trajectory.crash_rate(t) * scale
+    wrong = rng.random() < trajectory.wrong_rate(t) * scale
+    correctness = 1.0 if not wrong else float(rng.uniform(0.35, 0.93))
+
+    marker = (f"// @rai-sim quality={quality:.4f} impl=analytic "
+              f"correctness={correctness:.4f} "
+              f"compile={'ok' if compile_ok else 'error'} "
+              f"runtime={'crash' if crash else 'ok'} "
+              f"mem_gb={1.5 + 2.5 * quality:.2f}")
+    source = (
+        f"{marker}\n"
+        f"// {trajectory.team.name} CNN inference, "
+        f"project time {t:.2f}, submission code\n"
+        "#include <cuda_runtime.h>\n"
+        "#define TILE_WIDTH 16\n"
+        "__global__ void forward_kernel(float *y, const float *x, "
+        "const float *k) { /* ... */ }\n"
+        "int main(int argc, char **argv) { return run(argc, argv); }\n"
+    )
+    files: Dict[str, Union[str, bytes]] = {
+        "main.cu": source,
+        "CMakeLists.txt": _CMAKELISTS,
+    }
+    if final:
+        files["USAGE"] = _USAGE
+        files["report.pdf"] = b"%PDF-1.4\n" + \
+            f"% {trajectory.team.name} final report\n".encode() + \
+            bytes(2048)
+    return files

@@ -1,0 +1,53 @@
+"""Unit tests for .rai.profile parsing."""
+
+import pytest
+
+from repro.auth import RaiProfile, parse_profile, render_profile
+from repro.errors import ProfileError
+
+GOOD = """\
+RAI_USER_NAME='myusername'
+RAI_ACCESS_KEY='BsqJuFUI2ZtK4g1aLXf-OjmML6'
+RAI_SECRET_KEY='tU08PuKhtR9qozBNn33RcH7p5A'
+"""
+
+
+class TestParse:
+    def test_listing3_format(self):
+        """The exact format emailed to students (Listing 3)."""
+        profile = parse_profile(GOOD)
+        assert profile.username == "myusername"
+        assert profile.access_key == "BsqJuFUI2ZtK4g1aLXf-OjmML6"
+        assert profile.secret_key == "tU08PuKhtR9qozBNn33RcH7p5A"
+
+    def test_roundtrip(self):
+        profile = parse_profile(GOOD)
+        assert parse_profile(render_profile(profile)) == profile
+
+    def test_comments_and_blank_lines_tolerated(self):
+        text = "# pasted from email\n\n" + GOOD + "\n# end\n"
+        assert parse_profile(text).username == "myusername"
+
+    def test_double_quotes_and_unquoted(self):
+        text = ('RAI_USER_NAME="u"\nRAI_ACCESS_KEY=abc\n'
+                "RAI_SECRET_KEY='s'\n")
+        profile = parse_profile(text)
+        assert profile.access_key == "abc"
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ProfileError, match="RAI_SECRET_KEY"):
+            parse_profile("RAI_USER_NAME='u'\nRAI_ACCESS_KEY='a'\n")
+
+    def test_empty_value_rejected(self):
+        text = GOOD.replace("'myusername'", "''")
+        with pytest.raises(ProfileError, match="empty"):
+            parse_profile(text)
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ProfileError, match="line 1"):
+            parse_profile("this is not a profile\n" + GOOD)
+
+    def test_as_mapping(self):
+        mapping = RaiProfile("u", "a", "s").as_mapping()
+        assert mapping == {"RAI_USER_NAME": "u", "RAI_ACCESS_KEY": "a",
+                           "RAI_SECRET_KEY": "s"}

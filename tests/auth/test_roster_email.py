@@ -1,0 +1,80 @@
+"""Unit tests for roster parsing and the key mailer (§VI, Listing 3)."""
+
+import pytest
+
+from repro.auth import KeyMailer, KeyStore, parse_roster, render_roster
+from repro.auth.roster import RosterEntry
+from repro.errors import AuthError
+
+
+class TestRoster:
+    def test_basic_csv(self):
+        entries = parse_roster("Ada,Lovelace,alove\nAlan,Turing,aturing\n")
+        assert len(entries) == 2
+        assert entries[0].full_name == "Ada Lovelace"
+        assert entries[0].email == "alove@illinois.edu"
+
+    def test_header_row_skipped(self):
+        entries = parse_roster("firstname,lastname,userid\nA,B,ab\n")
+        assert len(entries) == 1
+
+    def test_blank_lines_skipped(self):
+        assert len(parse_roster("A,B,ab\n\n\nC,D,cd\n")) == 2
+
+    def test_malformed_row_rejected(self):
+        with pytest.raises(AuthError):
+            parse_roster("OnlyOneField\n")
+        with pytest.raises(AuthError):
+            parse_roster("A,,ab\n")
+
+    def test_duplicate_userid_rejected(self):
+        with pytest.raises(AuthError, match="duplicate"):
+            parse_roster("A,B,same\nC,D,same\n")
+
+    def test_render_roundtrip(self):
+        entries = [RosterEntry("A", "B", "ab"), RosterEntry("C", "D", "cd")]
+        assert parse_roster(render_roster(entries)) == entries
+
+
+class TestKeyMailer:
+    def test_one_email_per_student(self):
+        roster = parse_roster("Ada,Lovelace,alove\nAlan,Turing,aturing\n")
+        mailer = KeyMailer(KeyStore())
+        sent = mailer.send_keys(roster)
+        assert len(sent) == 2
+        assert len(mailer.outbox) == 2
+
+    def test_email_contains_working_credentials(self):
+        """The emailed keys must actually authenticate (end-to-end)."""
+        from repro.auth import parse_profile
+
+        keystore = KeyStore()
+        mailer = KeyMailer(keystore)
+        (message,) = mailer.send_keys(parse_roster("Ada,Lovelace,alove\n"))
+        assert message.to == "alove@illinois.edu"
+        assert "Hello Ada Lovelace," in message.body
+        # Extract the profile block exactly as a student would paste it.
+        lines = [l for l in message.body.splitlines()
+                 if l.startswith("RAI_")]
+        profile = parse_profile("\n".join(lines))
+        keystore.verify_pair(profile.access_key, profile.secret_key)
+
+    def test_team_recorded_on_credential(self):
+        keystore = KeyStore()
+        mailer = KeyMailer(keystore)
+        mailer.send_keys(parse_roster("A,B,ab\n"), teams={"ab": "team-7"})
+        cred = keystore.lookup(keystore.credentials()[0].access_key)
+        assert cred.team == "team-7"
+
+    def test_invalid_recipient_rejected(self):
+        from repro.auth.email import EmailMessage, Outbox
+
+        with pytest.raises(ValueError):
+            Outbox().send(EmailMessage(to="not-an-address", subject="s",
+                                       body="b"))
+
+    def test_mentions_webgpu_transition(self):
+        """Listing 3 explicitly tells students WebGPU is not used."""
+        mailer = KeyMailer(KeyStore())
+        (message,) = mailer.send_keys(parse_roster("A,B,ab\n"))
+        assert "we will not be using WebGPU" in message.body

@@ -1,0 +1,50 @@
+"""Unit tests for the Torque/PBS batch-cluster model."""
+
+import pytest
+
+from repro.baselines import TorqueCluster
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestBatchQueue:
+    def test_qsub_runs_fifo(self, sim):
+        cluster = TorqueCluster(sim, nodes=1)
+        a = cluster.qsub("alice", service_seconds=10)
+        b = cluster.qsub("bob", service_seconds=10)
+        sim.run()
+        assert a.queue_wait == 0.0
+        assert b.queue_wait == 10.0
+        assert b.finished_at == 20.0
+
+    def test_parallel_nodes(self, sim):
+        cluster = TorqueCluster(sim, nodes=4)
+        jobs = [cluster.qsub(f"u{i}", 10) for i in range(4)]
+        sim.run()
+        assert all(j.queue_wait == 0.0 for j in jobs)
+
+    def test_qstat(self, sim):
+        cluster = TorqueCluster(sim, nodes=1)
+        cluster.qsub("a", 10)
+        cluster.qsub("b", 10)
+        assert cluster.qstat()["queued"] + cluster.qstat()["running"] == 2
+        sim.run()
+        assert cluster.qstat()["completed"] == 2
+
+    def test_fixed_capacity_cannot_scale(self, sim):
+        cluster = TorqueCluster(sim, nodes=8)
+        assert cluster.add_capacity(10) == 0
+        assert cluster.capacity() == 8
+
+    def test_oversubscription_grows_waits(self, sim):
+        """§III: near deadlines 'the cluster queue can become long'."""
+        cluster = TorqueCluster(sim, nodes=2)
+        jobs = [cluster.qsub(f"u{i}", 60) for i in range(20)]
+        sim.run()
+        waits = [j.queue_wait for j in jobs]
+        assert max(waits) >= 60 * (20 / 2 - 1)
+        assert waits == sorted(waits)   # FIFO fairness

@@ -1,0 +1,74 @@
+"""Filtered consumers and remaining broker corners."""
+
+import pytest
+
+from repro.broker import Consumer, MessageBroker
+
+
+@pytest.fixture
+def broker(sim):
+    return MessageBroker(sim)
+
+
+class TestFilteredConsumer:
+    def test_filter_selects_matching_messages(self, sim, broker):
+        consumer = Consumer(broker, "rai/tasks",
+                            filter=lambda m: m.body.get("gpu") == "K80")
+        for body in ({"gpu": "K40", "n": 1}, {"gpu": "K80", "n": 2},
+                     {"gpu": "K40", "n": 3}):
+            broker.publish("rai", body)
+
+        def drain(sim):
+            msg = yield consumer.get()
+            consumer.ack(msg)
+            return msg.body["n"]
+
+        assert sim.run(until=sim.process(drain(sim))) == 2
+        # Unmatched messages remain queued for other consumers.
+        assert consumer.channel.depth == 2
+
+    def test_filtered_delivery_tracked_in_flight(self, sim, broker):
+        consumer = Consumer(broker, "rai/tasks",
+                            filter=lambda m: True)
+        broker.publish("rai", {"n": 1})
+
+        def drain(sim):
+            msg = yield consumer.get()
+            assert msg.attempts == 1
+            assert msg.id in consumer.channel.in_flight
+            consumer.ack(msg)
+
+        sim.run(until=sim.process(drain(sim)))
+        assert not consumer.channel.in_flight
+
+
+class TestTopicStats:
+    def test_topic_stats_shape(self, sim, broker):
+        consumer = Consumer(broker, "rai/tasks")
+        broker.publish("rai", {"n": 1})
+        stats = broker.topics["rai"].stats()
+        assert stats["published"] == 1
+        assert stats["channels"]["tasks"]["depth"] == 1
+        assert not stats["ephemeral"]
+
+    def test_total_depth_spans_topics(self, sim, broker):
+        broker.channel("a/x")
+        broker.channel("b/y")
+        broker.publish("a", {})
+        broker.publish("b", {})
+        broker.publish("b", {})
+        assert broker.total_depth() == 3
+
+
+class TestAnalysisEdges:
+    def test_peak_hour_empty(self):
+        from repro.analysis import peak_hour
+
+        peak = peak_hour([], 0, 3600.0)
+        assert peak["count"] == 0
+
+    def test_render_table_no_rows(self):
+        from repro.analysis import render_table
+
+        text = render_table(["a", "b"], [])
+        assert "a" in text

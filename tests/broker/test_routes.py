@@ -1,0 +1,32 @@
+"""Unit tests for route parsing."""
+
+import pytest
+
+from repro.broker import parse_route
+from repro.broker.routes import validate_name
+from repro.errors import BrokerError
+
+
+class TestParseRoute:
+    def test_topic_and_channel(self):
+        r = parse_route("rai/tasks")
+        assert r.topic == "rai" and r.channel == "tasks"
+        assert str(r) == "rai/tasks"
+
+    def test_default_channel(self):
+        assert parse_route("rai").channel == "#default"
+
+    def test_ephemeral_channel_marker(self):
+        assert parse_route("log_job-1/#ch").channel_is_ephemeral
+
+    def test_job_id_topics(self):
+        r = parse_route("log_job-000042/#ch")
+        assert r.topic == "log_job-000042"
+
+    @pytest.mark.parametrize("bad", ["", "a b/c", "a/b/c ", "topic/ch an"])
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises(BrokerError):
+            parse_route(bad)
+
+    def test_validate_name_passthrough(self):
+        assert validate_name("ok-name.1") == "ok-name.1"

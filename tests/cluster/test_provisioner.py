@@ -1,0 +1,117 @@
+"""Unit tests for instance types and the provisioner."""
+
+import pytest
+
+from repro.cluster import (
+    CostReport,
+    INSTANCE_CATALOG,
+    Provisioner,
+    get_instance_type,
+)
+from repro.core.system import RaiSystem
+
+
+@pytest.fixture
+def system():
+    return RaiSystem(seed=5)   # no initial workers
+
+
+@pytest.fixture
+def provisioner(system):
+    return Provisioner(system)
+
+
+class TestInstanceTypes:
+    def test_catalog_has_course_shapes(self):
+        g2 = get_instance_type("g2.2xlarge")
+        p2 = get_instance_type("p2.xlarge")
+        assert g2.gpu_model == "K40"
+        assert p2.gpu_model == "K80"
+        assert g2.hourly_cost_usd < p2.hourly_cost_usd
+
+    def test_unknown_type(self):
+        with pytest.raises(KeyError):
+            get_instance_type("dgx-h100")
+
+
+class TestLaunch:
+    def test_worker_joins_after_boot(self, system, provisioner):
+        inst = provisioner.launch("p2.xlarge")
+        assert inst.worker is None
+        system.run(until=inst.instance_type.boot_seconds + 1)
+        assert inst.worker is not None
+        assert inst.worker in system.running_workers
+
+    def test_worker_inherits_instance_gpu(self, system, provisioner):
+        inst = provisioner.launch("g2.2xlarge")
+        system.run(until=200)
+        assert inst.worker.config.gpu_model == "K40"
+
+    def test_launch_many(self, system, provisioner):
+        provisioner.launch_many(5, instance_type="p2.xlarge")
+        system.run(until=200)
+        assert len(system.running_workers) == 5
+
+    def test_concurrency_passed_through(self, system, provisioner):
+        inst = provisioner.launch("p2.xlarge", max_concurrent_jobs=4)
+        system.run(until=200)
+        assert inst.worker.config.max_concurrent_jobs == 4
+
+
+class TestTerminate:
+    def test_terminate_stops_worker(self, system, provisioner):
+        inst = provisioner.launch("p2.xlarge")
+        system.run(until=200)
+        provisioner.terminate(inst)
+        assert not inst.is_live
+        assert inst.worker not in system.running_workers
+
+    def test_terminate_during_boot_prevents_join(self, system, provisioner):
+        inst = provisioner.launch("p2.xlarge")
+        system.run(until=10)   # still booting
+        provisioner.terminate(inst)
+        system.run(until=300)
+        assert inst.worker is None
+        assert system.running_workers == []
+
+    def test_terminate_idempotent(self, system, provisioner):
+        inst = provisioner.launch("p2.xlarge")
+        system.run(until=200)
+        provisioner.terminate(inst)
+        first = inst.terminated_at
+        provisioner.terminate(inst)
+        assert inst.terminated_at == first
+
+    def test_terminate_count_prefers_idle(self, system, provisioner):
+        provisioner.launch_many(3, instance_type="p2.xlarge")
+        system.run(until=200)
+        assert provisioner.terminate_count(2) == 2
+        assert len(provisioner.live_instances) == 1
+
+
+class TestCost:
+    def test_billing_rounds_up_to_hour(self, system, provisioner):
+        inst = provisioner.launch("p2.xlarge")
+        system.run(until=1800)   # half an hour
+        assert inst.cost_until(system.sim.now) == pytest.approx(0.90)
+
+    def test_multi_hour_billing(self, system, provisioner):
+        inst = provisioner.launch("p2.xlarge")
+        system.run(until=2.5 * 3600)
+        assert inst.cost_until(system.sim.now) == pytest.approx(3 * 0.90)
+
+    def test_terminated_instance_stops_accruing(self, system, provisioner):
+        inst = provisioner.launch("p2.xlarge")
+        system.run(until=1000)
+        provisioner.terminate(inst)
+        cost_then = provisioner.total_cost()
+        system.run(until=100000)
+        assert provisioner.total_cost() == cost_then
+
+    def test_cost_report(self, system, provisioner):
+        provisioner.launch_many(2, instance_type="p2.xlarge")
+        system.run(until=3600)
+        report = CostReport.collect(provisioner)
+        assert report.instances_launched == 2
+        assert report.total_cost_usd == pytest.approx(2 * 0.90)
+        assert "fleet" in report.render()

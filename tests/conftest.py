@@ -1,0 +1,38 @@
+"""Shared fixtures."""
+
+import pytest
+
+from repro.broker.message import reset_message_ids
+from repro.core.job import reset_job_ids
+from repro.sim import Simulator
+
+
+@pytest.fixture(autouse=True)
+def _reset_global_counters():
+    """Keep generated ids deterministic per-test."""
+    reset_message_ids()
+    reset_job_ids()
+    yield
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def system():
+    """A small ready-to-use RAI deployment."""
+    from repro.core.system import RaiSystem
+
+    return RaiSystem.standard(num_workers=2, seed=7)
+
+
+@pytest.fixture
+def client(system):
+    c = system.new_client(team="test-team")
+    c.stage_project({
+        "main.cu": "// @rai-sim quality=0.8 impl=analytic\nint main(){}\n",
+        "CMakeLists.txt": "add_executable(ece408 main.cu)\n",
+    })
+    return c

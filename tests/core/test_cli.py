@@ -1,0 +1,81 @@
+"""Unit tests for the rai CLI front end."""
+
+import pytest
+
+from repro.core.cli import RaiCLI
+from repro.core.job import JobKind
+
+FILES = {
+    "main.cu": "// @rai-sim quality=0.9 impl=analytic\n",
+    "CMakeLists.txt": "add_executable(ece408 main.cu)\n",
+    "USAGE": "usage",
+    "report.pdf": b"%PDF-1.4",
+}
+
+
+@pytest.fixture
+def cli(system):
+    client = system.new_client(team="cli-team")
+    client.stage_project(FILES)
+    return RaiCLI(system, client)
+
+
+class TestSubcommands:
+    def test_run(self, cli):
+        out = cli.run_command("rai run")
+        assert "succeeded" in out
+        assert "Building project" in out
+
+    def test_submit_shows_rank(self, cli, system):
+        out = cli.run_command("rai submit")
+        assert "succeeded" in out
+        assert "ranked #1" in out
+
+    def test_ranking_empty(self, cli):
+        assert "No submissions" in cli.run_command("rai ranking")
+
+    def test_ranking_table(self, cli, system):
+        cli.run_command("rai submit")
+        out = cli.run_command("rai ranking")
+        assert "← you" in out
+        assert "cli-team" in out
+
+    def test_history(self, cli):
+        assert "No jobs" in cli.run_command("rai history")
+        cli.run_command("rai run")
+        out = cli.run_command("rai history")
+        assert "job-" in out and "succeeded" in out
+
+    def test_version_shows_embedded_build_info(self, cli):
+        out = cli.run_command("rai version")
+        assert "rai version" in out
+        assert "built" in out
+
+    def test_help_and_unknown(self, cli):
+        assert "usage:" in cli.run_command("rai help")
+        assert "unknown subcommand" in cli.run_command("rai frobnicate")
+        assert "usage:" in cli.run_command("rai")
+
+    def test_leading_rai_optional(self, cli):
+        assert "usage:" in cli.run_command("help")
+
+    def test_download_without_jobs(self, cli):
+        assert "No completed jobs" in cli.run_command("rai download")
+
+    def test_download_extracts_build(self, cli):
+        cli.run_command("rai run")
+        out = cli.run_command("rai download")
+        assert "extracted" in out
+        job_id = cli.client.history[-1].job_id
+        assert cli.client.project_fs.isfile(
+            f"/build-{job_id}/timeline.nvprof")
+
+    def test_download_bad_index(self, cli):
+        cli.run_command("rai run")
+        assert "no such job" in cli.run_command("rai download 99")
+
+    def test_stats_report(self, cli):
+        cli.run_command("rai run")
+        out = cli.run_command("rai stats")
+        assert "deployment health" in out
+        assert "jobs completed" in out

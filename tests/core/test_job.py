@@ -1,0 +1,90 @@
+"""Unit tests for the job model and result parsing."""
+
+import pytest
+
+from repro.core.job import Job, JobKind, JobResult, JobStatus, new_job_id
+
+
+class TestJobIds:
+    def test_sequential_unique(self):
+        a, b = new_job_id(), new_job_id()
+        assert a != b
+        assert a.startswith("job-")
+
+
+class TestJobMessage:
+    def test_roundtrip(self):
+        job = Job(id="job-1", kind=JobKind.SUBMIT, username="u",
+                  team="t", upload_bucket="b", upload_key="k",
+                  spec_yaml="rai: {}", access_key="ak", signature="sig",
+                  submitted_at=12.5)
+        back = Job.from_message(job.to_message())
+        assert back.id == "job-1"
+        assert back.kind is JobKind.SUBMIT
+        assert back.team == "t"
+        assert back.status is JobStatus.QUEUED
+
+    def test_message_is_json_safe(self):
+        import json
+
+        job = Job(id="j", kind=JobKind.RUN, username="u", team=None,
+                  upload_bucket="b", upload_key="k", spec_yaml="",
+                  access_key="a", signature="s", submitted_at=0.0)
+        json.dumps(job.to_message())
+
+
+class TestJobStatus:
+    def test_terminal_states(self):
+        assert JobStatus.SUCCEEDED.is_terminal
+        assert JobStatus.FAILED.is_terminal
+        assert JobStatus.REJECTED.is_terminal
+        assert not JobStatus.RUNNING.is_terminal
+        assert not JobStatus.QUEUED.is_terminal
+
+
+class TestJobResultParsing:
+    def make(self, stdout="", stderr=""):
+        result = JobResult(job_id="j")
+        if stdout:
+            result.log.append((0.0, "stdout", stdout))
+        if stderr:
+            result.log.append((0.0, "stderr", stderr))
+        return result
+
+    def test_internal_time_parsed(self):
+        result = self.make(stdout="Elapsed time: 0.412300 s\n")
+        assert result.internal_time == pytest.approx(0.4123)
+
+    def test_last_elapsed_wins(self):
+        result = self.make(stdout="Elapsed time: 1.0 s\n"
+                                  "Elapsed time: 2.0 s\n")
+        assert result.internal_time == 2.0
+
+    def test_correctness_parsed(self):
+        result = self.make(stdout="Correctness: 0.8123 Model: ece408\n")
+        assert result.correctness == pytest.approx(0.8123)
+
+    def test_time_command_output_parsed(self):
+        result = self.make(stderr="12.34real 1.20user 0.30sys\n")
+        parsed = result.time_command_output
+        assert parsed == {"real": 12.34, "user": 1.2, "sys": 0.3}
+
+    def test_missing_metrics_are_none(self):
+        result = self.make(stdout="nothing to see")
+        assert result.internal_time is None
+        assert result.correctness is None
+        assert result.time_command_output is None
+
+    def test_stream_separation(self):
+        result = self.make(stdout="out", stderr="err")
+        assert result.stdout_text() == "out"
+        assert result.stderr_text() == "err"
+
+    def test_waits(self):
+        result = JobResult(job_id="j", queued_at=10.0, started_at=15.0,
+                           finished_at=30.0)
+        assert result.queue_wait == 5.0
+        assert result.turnaround == 20.0
+
+    def test_waits_none_when_incomplete(self):
+        assert JobResult(job_id="j").queue_wait is None

@@ -1,0 +1,82 @@
+"""Unit tests for competition ranking."""
+
+import pytest
+
+from repro.core.ranking import RankingService
+from repro.docdb import DocumentDB
+
+
+@pytest.fixture
+def ranking():
+    service = RankingService(DocumentDB())
+    for team, time in [("alpha", 0.9), ("bravo", 0.4), ("charlie", 2.5)]:
+        service.record_final(team=team, internal_time=time,
+                             instructor_time=time * 1.05, correctness=1.0,
+                             username=f"{team}-lead", job_id=f"job-{team}",
+                             at=100.0)
+    return ranking_or(service)
+
+
+def ranking_or(service):
+    return service
+
+
+class TestLeaderboard:
+    def test_sorted_by_time(self, ranking):
+        board = ranking.leaderboard()
+        assert [row["team"] for row in board] == \
+            ["bravo", "alpha", "charlie"]
+        assert [row["rank"] for row in board] == [1, 2, 3]
+
+    def test_limit(self, ranking):
+        assert len(ranking.leaderboard(limit=2)) == 2
+
+    def test_team_rank(self, ranking):
+        assert ranking.team_rank("alpha") == 2
+        assert ranking.team_rank("ghost") is None
+
+    def test_resubmission_overwrites(self, ranking):
+        """§V: final timing 'overwrites existing timing records'."""
+        ranking.record_final(team="charlie", internal_time=0.2,
+                             instructor_time=0.21, correctness=1.0,
+                             username="x", job_id="j2", at=200.0)
+        assert ranking.team_rank("charlie") == 1
+        assert len(ranking) == 3   # still one row per team
+
+    def test_overwrite_even_if_slower(self, ranking):
+        """The paper overwrites — it does not keep the best."""
+        ranking.record_final(team="bravo", internal_time=5.0,
+                             instructor_time=5.0, correctness=1.0,
+                             username="x", job_id="j3", at=200.0)
+        assert ranking.team_rank("bravo") == 3
+
+
+class TestAnonymizedView:
+    def test_own_team_visible_others_hidden(self, ranking):
+        view = ranking.anonymized_view("alpha")
+        own = [row for row in view if row["is_you"]]
+        others = [row for row in view if not row["is_you"]]
+        assert len(own) == 1 and own[0]["team"] == "alpha"
+        assert all(row["team"].startswith("team-") for row in others)
+        assert all("bravo" not in row["team"] for row in others)
+
+    def test_times_still_visible(self, ranking):
+        """Students 'see other teams' anonymized runtimes' (§VI)."""
+        view = ranking.anonymized_view("alpha")
+        assert [row["internal_time"] for row in view] == [0.4, 0.9, 2.5]
+
+    def test_anonymous_labels_stable(self, ranking):
+        a = ranking.anonymized_view("alpha")
+        b = ranking.anonymized_view("alpha")
+        assert [r["team"] for r in a] == [r["team"] for r in b]
+
+    def test_labels_differ_between_teams(self, ranking):
+        view = ranking.anonymized_view("alpha")
+        others = [r["team"] for r in view if not r["is_you"]]
+        assert len(set(others)) == len(others)
+
+
+class TestTopRuntimes:
+    def test_figure2_source(self, ranking):
+        assert ranking.top_runtimes(2) == [0.4, 0.9]
+        assert ranking.top_runtimes(30) == [0.4, 0.9, 2.5]

@@ -1,0 +1,87 @@
+"""Unit tests for the 30-second rate limiter."""
+
+import pytest
+
+from repro.core.ratelimit import RateLimiter
+from repro.errors import RateLimited
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def limiter(clock):
+    return RateLimiter(clock, window_seconds=30.0)
+
+
+class TestRateLimiter:
+    def test_first_submission_accepted(self, limiter):
+        limiter.check("team-1")
+
+    def test_within_window_rejected(self, limiter, clock):
+        limiter.check("team-1")
+        clock.now = 15.0
+        with pytest.raises(RateLimited) as exc_info:
+            limiter.check("team-1")
+        assert exc_info.value.retry_after == pytest.approx(15.0)
+
+    def test_after_window_accepted(self, limiter, clock):
+        limiter.check("team-1")
+        clock.now = 30.0
+        limiter.check("team-1")
+
+    def test_principals_independent(self, limiter):
+        limiter.check("team-1")
+        limiter.check("team-2")   # not limited by team-1's submission
+
+    def test_rejection_does_not_extend_window(self, limiter, clock):
+        limiter.check("t")
+        clock.now = 29.0
+        with pytest.raises(RateLimited):
+            limiter.check("t")
+        clock.now = 30.5
+        limiter.check("t")   # measured from the accepted one
+
+    def test_retry_after_query(self, limiter, clock):
+        assert limiter.retry_after("t") == 0.0
+        limiter.check("t")
+        clock.now = 10.0
+        assert limiter.retry_after("t") == pytest.approx(20.0)
+
+    def test_counters(self, limiter, clock):
+        limiter.check("t")
+        with pytest.raises(RateLimited):
+            limiter.check("t")
+        assert limiter.total_accepted == 1
+        assert limiter.total_rejected == 1
+
+    def test_reset(self, limiter):
+        limiter.check("t")
+        limiter.reset("t")
+        limiter.check("t")   # immediately OK again
+
+    def test_reset_all(self, limiter):
+        limiter.check("a")
+        limiter.check("b")
+        limiter.reset()
+        limiter.check("a")
+        limiter.check("b")
+
+    def test_zero_window_never_limits(self, clock):
+        limiter = RateLimiter(clock, window_seconds=0.0)
+        limiter.check("t")
+        limiter.check("t")
+
+    def test_negative_window_rejected(self, clock):
+        with pytest.raises(ValueError):
+            RateLimiter(clock, window_seconds=-1)

@@ -1,0 +1,69 @@
+"""Tests for the telemetry sampler and health report."""
+
+import pytest
+
+from repro.core.system import RaiSystem
+from repro.core.telemetry import TelemetrySampler, health_report
+
+FILES = {
+    "main.cu": "// @rai-sim quality=0.7 impl=analytic\n",
+    "CMakeLists.txt": "add_executable(ece408 main.cu)\n",
+}
+
+
+@pytest.fixture
+def system():
+    return RaiSystem.standard(num_workers=2, seed=12)
+
+
+class TestSampler:
+    def test_samples_signals_over_time(self, system):
+        sampler = TelemetrySampler(system, interval=10.0)
+        system.sim.process(sampler.run())
+        clients = []
+        for i in range(4):
+            c = system.new_client(team=f"t{i}")
+            c.stage_project(FILES)
+            clients.append(c)
+        procs = [system.sim.process(c.submit()) for c in clients]
+        system.sim.run(until=system.sim.all_of(procs))
+        for signal in ("queue_depth", "workers_running", "jobs_active",
+                       "storage_bytes", "in_flight"):
+            assert len(system.monitor.series[signal]) > 0
+        assert sampler.peak("workers_running") == 2
+        assert sampler.peak("jobs_active") >= 1
+        assert sampler.peak("storage_bytes") > 0
+
+    def test_stop_halts_sampling(self, system):
+        sampler = TelemetrySampler(system, interval=5.0)
+        system.sim.process(sampler.run())
+        system.run(until=20.0)
+        sampler.stop()
+        count = len(system.monitor.series["queue_depth"])
+        system.run(until=100.0)
+        assert len(system.monitor.series["queue_depth"]) <= count + 1
+
+    def test_peak_of_unsampled_signal_is_nan(self, system):
+        import math
+
+        sampler = TelemetrySampler(system)
+        assert math.isnan(sampler.peak("never_sampled"))
+
+
+class TestHealthReport:
+    def test_snapshot_without_sampler(self, system):
+        client = system.new_client(team="t")
+        client.stage_project(FILES)
+        system.run(client.submit())
+        report = health_report(system)
+        assert "jobs completed" in report
+        assert "file server" in report
+        assert "2/2" in report
+
+    def test_with_sampler_includes_averages(self, system):
+        sampler = TelemetrySampler(system, interval=5.0)
+        system.sim.process(sampler.run())
+        system.run(until=30.0)
+        report = health_report(system, sampler)
+        assert "queue_depth (avg)" in report
+        assert "workers_running (peak)" in report

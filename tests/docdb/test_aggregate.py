@@ -1,0 +1,123 @@
+"""Unit tests for the aggregation pipeline."""
+
+import pytest
+
+from repro.docdb import DocumentDB
+from repro.errors import InvalidQuery
+
+
+@pytest.fixture
+def coll():
+    db = DocumentDB()
+    c = db["submissions"]
+    c.insert_many([
+        {"team": "t1", "kind": "run", "time": 3.0},
+        {"team": "t1", "kind": "final", "time": 1.0},
+        {"team": "t2", "kind": "run", "time": 5.0},
+        {"team": "t2", "kind": "final", "time": 2.0},
+        {"team": "t2", "kind": "final", "time": 1.5},
+    ])
+    return c
+
+
+class TestStages:
+    def test_match(self, coll):
+        out = coll.aggregate([{"$match": {"kind": "final"}}])
+        assert len(out) == 3
+
+    def test_group_accumulators(self, coll):
+        out = coll.aggregate([
+            {"$group": {"_id": "$team",
+                        "best": {"$min": "$time"},
+                        "worst": {"$max": "$time"},
+                        "total": {"$sum": "$time"},
+                        "mean": {"$avg": "$time"},
+                        "n": {"$sum": 1}}},
+            {"$sort": {"_id": 1}},
+        ])
+        t1, t2 = out
+        assert t1 == {"_id": "t1", "best": 1.0, "worst": 3.0, "total": 4.0,
+                      "mean": 2.0, "n": 2}
+        assert t2["n"] == 3 and t2["best"] == 1.5
+
+    def test_group_all_with_null_id(self, coll):
+        out = coll.aggregate([
+            {"$group": {"_id": None, "n": {"$sum": 1}}}])
+        assert out == [{"_id": None, "n": 5}]
+
+    def test_group_push_and_first_last(self, coll):
+        out = coll.aggregate([
+            {"$match": {"team": "t2"}},
+            {"$group": {"_id": "$team", "times": {"$push": "$time"},
+                        "first": {"$first": "$time"},
+                        "last": {"$last": "$time"}}},
+        ])
+        assert out[0]["times"] == [5.0, 2.0, 1.5]
+        assert out[0]["first"] == 5.0 and out[0]["last"] == 1.5
+
+    def test_sort_skip_limit(self, coll):
+        out = coll.aggregate([
+            {"$sort": {"time": 1}},
+            {"$skip": 1},
+            {"$limit": 2},
+        ])
+        assert [d["time"] for d in out] == [1.5, 2.0]
+
+    def test_project_computed(self, coll):
+        out = coll.aggregate([
+            {"$match": {"team": "t1", "kind": "final"}},
+            {"$project": {"_id": 0, "team": 1,
+                          "ms": {"$multiply": ["$time", 1000]}}},
+        ])
+        assert out == [{"team": "t1", "ms": 1000.0}]
+
+    def test_add_fields(self, coll):
+        out = coll.aggregate([
+            {"$match": {"time": 3.0}},
+            {"$addFields": {"double": {"$add": ["$time", "$time"]}}},
+        ])
+        assert out[0]["double"] == 6.0
+        assert out[0]["team"] == "t1"
+
+    def test_unwind(self):
+        db = DocumentDB()
+        c = db["c"]
+        c.insert_one({"team": "t1", "members": ["a", "b"]})
+        c.insert_one({"team": "t2", "members": []})
+        out = c.aggregate([{"$unwind": "$members"}])
+        assert [(d["team"], d["members"]) for d in out] == \
+            [("t1", "a"), ("t1", "b")]
+
+    def test_count(self, coll):
+        assert coll.aggregate([
+            {"$match": {"kind": "final"}},
+            {"$count": "finals"},
+        ]) == [{"finals": 3}]
+
+    def test_pipeline_composition_ranking(self, coll):
+        """The actual ranking recompute: best final time per team."""
+        out = coll.aggregate([
+            {"$match": {"kind": "final"}},
+            {"$group": {"_id": "$team", "best": {"$min": "$time"}}},
+            {"$sort": {"best": 1}},
+        ])
+        assert [d["_id"] for d in out] == ["t1", "t2"]
+
+
+class TestErrors:
+    def test_group_requires_id(self, coll):
+        with pytest.raises(InvalidQuery):
+            coll.aggregate([{"$group": {"n": {"$sum": 1}}}])
+
+    def test_unknown_stage(self, coll):
+        with pytest.raises(InvalidQuery):
+            coll.aggregate([{"$teleport": {}}])
+
+    def test_unknown_accumulator(self, coll):
+        with pytest.raises(InvalidQuery):
+            coll.aggregate([{"$group": {"_id": None,
+                                        "x": {"$median": "$time"}}}])
+
+    def test_multi_key_stage_rejected(self, coll):
+        with pytest.raises(InvalidQuery):
+            coll.aggregate([{"$match": {}, "$limit": 1}])

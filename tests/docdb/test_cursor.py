@@ -1,0 +1,101 @@
+"""Unit tests for cursors, sort keys, and projections."""
+
+import pytest
+
+from repro.docdb import DocumentDB
+from repro.docdb.cursor import Cursor, _SortKey, apply_projection
+
+
+@pytest.fixture
+def coll():
+    db = DocumentDB()
+    c = db["c"]
+    c.insert_many([
+        {"n": 3, "tag": "c"},
+        {"n": 1, "tag": "a"},
+        {"n": 2, "tag": "b"},
+        {"tag": "missing-n"},
+        {"n": None, "tag": "null-n"},
+        {"n": "text", "tag": "string-n"},
+    ])
+    return c
+
+
+class TestSortKeyTotalOrder:
+    def test_missing_before_null_before_numbers_before_strings(self, coll):
+        tags = [d["tag"] for d in coll.find().sort([("n", 1)])]
+        assert tags == ["missing-n", "null-n", "a", "b", "c", "string-n"]
+
+    def test_descending_reverses_within_rank(self, coll):
+        tags = [d["tag"] for d in coll.find().sort([("n", -1)])]
+        assert tags.index("c") < tags.index("a")
+
+    def test_sortkey_equality(self):
+        assert _SortKey(1) == _SortKey(1)
+        assert _SortKey(None) == _SortKey(None)
+        assert not (_SortKey(1) == _SortKey(2))
+        assert _SortKey(None) < _SortKey(0)
+
+    def test_multi_key_sort(self):
+        db = DocumentDB()
+        c = db["c"]
+        c.insert_many([
+            {"a": 1, "b": 2}, {"a": 1, "b": 1}, {"a": 0, "b": 9},
+        ])
+        rows = c.find().sort([("a", 1), ("b", -1)]).to_list()
+        assert [(r["a"], r["b"]) for r in rows] == [(0, 9), (1, 2), (1, 1)]
+
+    def test_bad_direction(self, coll):
+        with pytest.raises(ValueError):
+            coll.find().sort([("n", 2)])
+
+    def test_string_sort_spec(self, coll):
+        first = coll.find().sort("n").first()
+        assert first["tag"] == "missing-n"
+
+
+class TestSkipLimit:
+    def test_negative_rejected(self, coll):
+        with pytest.raises(ValueError):
+            coll.find().skip(-1)
+        with pytest.raises(ValueError):
+            coll.find().limit(-1)
+
+    def test_chaining_order_is_sort_skip_limit(self, coll):
+        rows = coll.find({"n": {"$exists": True}}) \
+            .sort([("tag", 1)]).skip(1).limit(2).to_list()
+        assert [r["tag"] for r in rows] == ["b", "c"]
+
+    def test_first_on_empty(self, coll):
+        assert coll.find({"tag": "ghost"}).first() is None
+
+    def test_iteration(self, coll):
+        count = sum(1 for _ in coll.find())
+        assert count == 6
+
+
+class TestProjection:
+    def test_mixing_include_exclude_rejected(self):
+        with pytest.raises(ValueError):
+            apply_projection({"a": 1, "b": 2}, {"a": 1, "b": 0})
+
+    def test_id_exclusion_allowed_with_includes(self):
+        doc = {"_id": 1, "a": 2, "b": 3}
+        assert apply_projection(doc, {"a": 1, "_id": 0}) == {"a": 2}
+
+    def test_dotted_include(self):
+        doc = {"_id": 1, "meta": {"x": 1, "y": 2}}
+        out = apply_projection(doc, {"meta.x": 1, "_id": 0})
+        assert out == {"meta": {"x": 1}}
+
+    def test_dotted_exclude(self):
+        doc = {"_id": 1, "meta": {"x": 1, "y": 2}}
+        out = apply_projection(doc, {"meta.x": 0})
+        assert out == {"_id": 1, "meta": {"y": 2}}
+
+    def test_cursor_materializes_fresh_copies(self, coll):
+        cursor = Cursor(coll.find().to_list())
+        a = cursor.to_list()
+        b = cursor.to_list()
+        a[0]["mutated"] = True
+        assert "mutated" not in b[0]

@@ -1,0 +1,148 @@
+"""Unit tests for the query language."""
+
+import pytest
+
+from repro.docdb import match_document
+from repro.errors import InvalidQuery
+
+DOC = {
+    "team": "t1",
+    "time": 1.5,
+    "tags": ["gpu", "cuda"],
+    "meta": {"worker": "w-1", "attempt": 2},
+    "results": [{"time": 1.5}, {"time": 2.5}],
+    "none_field": None,
+}
+
+
+class TestEquality:
+    def test_literal_match(self):
+        assert match_document(DOC, {"team": "t1"})
+        assert not match_document(DOC, {"team": "t2"})
+
+    def test_multiple_fields_are_anded(self):
+        assert match_document(DOC, {"team": "t1", "time": 1.5})
+        assert not match_document(DOC, {"team": "t1", "time": 9})
+
+    def test_array_membership(self):
+        assert match_document(DOC, {"tags": "gpu"})
+        assert not match_document(DOC, {"tags": "fpga"})
+
+    def test_whole_array_equality(self):
+        assert match_document(DOC, {"tags": ["gpu", "cuda"]})
+
+    def test_missing_equals_null(self):
+        assert match_document(DOC, {"ghost": None})
+        assert match_document(DOC, {"none_field": None})
+
+    def test_dotted_paths(self):
+        assert match_document(DOC, {"meta.worker": "w-1"})
+        assert match_document(DOC, {"results.1.time": 2.5})
+
+    def test_empty_query_matches_all(self):
+        assert match_document(DOC, {})
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("query,expected", [
+        ({"time": {"$gt": 1.0}}, True),
+        ({"time": {"$gt": 1.5}}, False),
+        ({"time": {"$gte": 1.5}}, True),
+        ({"time": {"$lt": 2.0}}, True),
+        ({"time": {"$lte": 1.4}}, False),
+        ({"time": {"$ne": 1.5}}, False),
+        ({"time": {"$ne": 9}}, True),
+        ({"time": {"$eq": 1.5}}, True),
+    ])
+    def test_operators(self, query, expected):
+        assert match_document(DOC, query) is expected
+
+    def test_range_combination(self):
+        assert match_document(DOC, {"time": {"$gte": 1.0, "$lt": 2.0}})
+
+    def test_comparison_with_missing_field_never_matches(self):
+        assert not match_document(DOC, {"ghost": {"$gt": 0}})
+
+    def test_ne_matches_missing(self):
+        assert match_document(DOC, {"ghost": {"$ne": 5}})
+
+    def test_cross_type_comparison_never_matches(self):
+        assert not match_document(DOC, {"team": {"$gt": 3}})
+
+
+class TestSetOperators:
+    def test_in(self):
+        assert match_document(DOC, {"team": {"$in": ["t1", "t2"]}})
+        assert not match_document(DOC, {"team": {"$in": ["t3"]}})
+
+    def test_in_with_array_field(self):
+        assert match_document(DOC, {"tags": {"$in": ["fpga", "cuda"]}})
+
+    def test_nin(self):
+        assert match_document(DOC, {"team": {"$nin": ["t3"]}})
+        assert not match_document(DOC, {"team": {"$nin": ["t1"]}})
+
+    def test_in_requires_list(self):
+        with pytest.raises(InvalidQuery):
+            match_document(DOC, {"team": {"$in": "t1"}})
+
+
+class TestExistsRegexSize:
+    def test_exists(self):
+        assert match_document(DOC, {"team": {"$exists": True}})
+        assert match_document(DOC, {"ghost": {"$exists": False}})
+        assert not match_document(DOC, {"ghost": {"$exists": True}})
+
+    def test_regex(self):
+        assert match_document(DOC, {"team": {"$regex": r"^t\d$"}})
+        assert not match_document(DOC, {"team": {"$regex": r"^x"}})
+        assert not match_document(DOC, {"time": {"$regex": "1"}})
+
+    def test_size(self):
+        assert match_document(DOC, {"tags": {"$size": 2}})
+        assert not match_document(DOC, {"tags": {"$size": 3}})
+
+    def test_elem_match(self):
+        assert match_document(DOC, {"results": {"$elemMatch":
+                                                {"time": {"$gt": 2}}}})
+        assert not match_document(DOC, {"results": {"$elemMatch":
+                                                    {"time": {"$gt": 9}}}})
+
+
+class TestLogical:
+    def test_and(self):
+        assert match_document(DOC, {"$and": [{"team": "t1"},
+                                             {"time": {"$lt": 2}}]})
+
+    def test_or(self):
+        assert match_document(DOC, {"$or": [{"team": "nope"},
+                                            {"time": 1.5}]})
+        assert not match_document(DOC, {"$or": [{"team": "nope"},
+                                                {"time": 9}]})
+
+    def test_nor(self):
+        assert match_document(DOC, {"$nor": [{"team": "x"}, {"time": 9}]})
+
+    def test_not(self):
+        assert match_document(DOC, {"time": {"$not": {"$gt": 2}}})
+
+    def test_nested_logic(self):
+        query = {"$or": [
+            {"$and": [{"team": "t1"}, {"tags": "gpu"}]},
+            {"time": {"$gt": 100}},
+        ]}
+        assert match_document(DOC, query)
+
+
+class TestErrors:
+    def test_unknown_operator(self):
+        with pytest.raises(InvalidQuery):
+            match_document(DOC, {"time": {"$frob": 1}})
+
+    def test_unknown_toplevel_operator(self):
+        with pytest.raises(InvalidQuery):
+            match_document(DOC, {"$xor": []})
+
+    def test_non_dict_query(self):
+        with pytest.raises(InvalidQuery):
+            match_document(DOC, "team=t1")

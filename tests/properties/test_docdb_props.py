@@ -1,0 +1,120 @@
+"""Property-based tests for the document database."""
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.docdb import DocumentDB, apply_update, match_document
+
+# JSON-ish scalar values.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False,
+              min_value=-1e6, max_value=1e6),
+    st.text(max_size=12),
+)
+
+field_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll",), max_codepoint=122),
+    min_size=1, max_size=8,
+).filter(lambda s: not s.startswith("$") and "." not in s)
+
+documents = st.dictionaries(field_names, scalars, max_size=6)
+
+
+class TestQueryProperties:
+    @given(doc=documents)
+    def test_empty_query_matches_everything(self, doc):
+        assert match_document(doc, {})
+
+    @given(doc=documents)
+    def test_document_matches_its_own_equality_query(self, doc):
+        assert match_document(doc, dict(doc))
+
+    @given(doc=documents, query=st.dictionaries(field_names, scalars,
+                                                max_size=4))
+    def test_and_of_parts_equals_whole(self, doc, query):
+        whole = match_document(doc, query)
+        parts = all(match_document(doc, {k: v}) for k, v in query.items())
+        assert whole == parts
+
+    @given(doc=documents, query=st.dictionaries(field_names, scalars,
+                                                min_size=1, max_size=4))
+    def test_not_via_nor(self, doc, query):
+        assert match_document(doc, {"$nor": [query]}) != \
+            match_document(doc, query)
+
+    @given(doc=documents, value=scalars)
+    def test_in_singleton_equals_eq(self, doc, value):
+        assert match_document(doc, {"field": {"$in": [value]}}) == \
+            match_document(doc, {"field": {"$eq": value}})
+
+
+class TestUpdateProperties:
+    @given(doc=documents, updates=st.dictionaries(field_names, scalars,
+                                                  min_size=1, max_size=4))
+    def test_set_then_query_matches(self, doc, updates):
+        updated = apply_update(doc, {"$set": updates})
+        for key, value in updates.items():
+            assert match_document(updated, {key: value})
+
+    @given(doc=documents, updates=st.dictionaries(field_names, scalars,
+                                                  min_size=1, max_size=4))
+    def test_update_does_not_mutate_input(self, doc, updates):
+        snapshot = copy.deepcopy(doc)
+        apply_update(doc, {"$set": updates})
+        assert doc == snapshot
+
+    @given(doc=documents, key=field_names)
+    def test_unset_removes(self, doc, key):
+        updated = apply_update(doc, {"$unset": {key: ""}})
+        assert key not in updated
+
+    @given(key=field_names, a=st.integers(-100, 100),
+           b=st.integers(-100, 100))
+    def test_inc_composes(self, key, a, b):
+        doc = {}
+        once = apply_update(apply_update(doc, {"$inc": {key: a}}),
+                            {"$inc": {key: b}})
+        both = apply_update(doc, {"$inc": {key: a + b}})
+        assert once[key] == both[key]
+
+
+class TestCollectionProperties:
+    @settings(max_examples=30)
+    @given(docs=st.lists(documents, max_size=12))
+    def test_count_equals_len_of_find(self, docs):
+        coll = DocumentDB()["c"]
+        coll.insert_many(docs)
+        assert coll.count_documents() == len(docs)
+        assert coll.find().count() == len(docs)
+
+    @settings(max_examples=30)
+    @given(docs=st.lists(documents, min_size=1, max_size=10),
+           key=field_names)
+    def test_sort_is_totally_ordered_and_stable_length(self, docs, key):
+        coll = DocumentDB()["c"]
+        coll.insert_many(docs)
+        ascending = coll.find().sort([(key, 1)]).to_list()
+        descending = coll.find().sort([(key, -1)]).to_list()
+        assert len(ascending) == len(docs)
+        stripped = [{k: v for k, v in d.items() if k != "_id"}
+                    for d in ascending]
+        stripped_desc = [{k: v for k, v in d.items() if k != "_id"}
+                         for d in descending]
+        # Multiset equality: sort only permutes.
+        key_of = lambda d: sorted((k, str(v)) for k, v in d.items())
+        assert sorted(map(key_of, stripped)) == \
+            sorted(map(key_of, stripped_desc))
+
+    @settings(max_examples=30)
+    @given(docs=st.lists(documents, max_size=10))
+    def test_delete_all_empties(self, docs):
+        coll = DocumentDB()["c"]
+        coll.insert_many(docs)
+        deleted = coll.delete_many({})
+        assert deleted == len(docs)
+        assert coll.count_documents() == 0

@@ -1,0 +1,90 @@
+"""Property-based tests for ranking, rate limiting, and auth invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.auth import parse_profile, render_profile, sign_request
+from repro.auth.profile import RaiProfile
+from repro.core.ranking import RankingService
+from repro.core.ratelimit import RateLimiter
+from repro.docdb import DocumentDB
+
+
+class TestRankingProperties:
+    @settings(max_examples=30)
+    @given(times=st.lists(st.floats(min_value=0.01, max_value=1000,
+                                    allow_nan=False),
+                          min_size=1, max_size=20, unique=True))
+    def test_leaderboard_sorted_and_ranks_dense(self, times):
+        service = RankingService(DocumentDB())
+        for i, t in enumerate(times):
+            service.record_final(team=f"team-{i}", internal_time=t,
+                                 instructor_time=t, correctness=1.0,
+                                 username="u", job_id=f"j{i}", at=0.0)
+        board = service.leaderboard()
+        values = [row["internal_time"] for row in board]
+        assert values == sorted(values)
+        assert [row["rank"] for row in board] == \
+            list(range(1, len(times) + 1))
+
+    @settings(max_examples=30)
+    @given(overwrites=st.lists(st.floats(min_value=0.01, max_value=100,
+                                         allow_nan=False),
+                               min_size=1, max_size=10))
+    def test_one_row_per_team_regardless_of_overwrites(self, overwrites):
+        service = RankingService(DocumentDB())
+        for i, t in enumerate(overwrites):
+            service.record_final(team="solo", internal_time=t,
+                                 instructor_time=t, correctness=1.0,
+                                 username="u", job_id=f"j{i}", at=float(i))
+        assert len(service) == 1
+        assert service.leaderboard()[0]["internal_time"] == overwrites[-1]
+
+
+class TestRateLimiterProperties:
+    @settings(max_examples=40)
+    @given(gaps=st.lists(st.floats(min_value=0.0, max_value=120.0,
+                                   allow_nan=False),
+                         min_size=1, max_size=30),
+           window=st.floats(min_value=1.0, max_value=60.0))
+    def test_accepted_submissions_spaced_by_window(self, gaps, window):
+        now = [0.0]
+        limiter = RateLimiter(lambda: now[0], window_seconds=window)
+        accepted_times = []
+        for gap in gaps:
+            now[0] += gap
+            try:
+                limiter.check("team")
+                accepted_times.append(now[0])
+            except Exception:
+                pass
+        diffs = [b - a for a, b in zip(accepted_times, accepted_times[1:])]
+        assert all(d >= window - 1e-9 for d in diffs)
+        assert limiter.total_accepted == len(accepted_times)
+
+
+class TestAuthProperties:
+    keys = st.text(alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnop"
+                            "qrstuvwxyz0123456789-_",
+                   min_size=1, max_size=30)
+
+    @given(username=keys, access=keys, secret=keys)
+    def test_profile_roundtrip(self, username, access, secret):
+        profile = RaiProfile(username, access, secret)
+        assert parse_profile(render_profile(profile)) == profile
+
+    @given(secret=keys,
+           payload=st.dictionaries(st.text(max_size=6),
+                                   st.integers(), max_size=4),
+           ts=st.floats(min_value=0, max_value=1e9, allow_nan=False))
+    def test_signature_deterministic(self, secret, payload, ts):
+        assert sign_request(secret, payload, ts) == \
+            sign_request(secret, payload, ts)
+
+    @given(secret=keys, other=keys,
+           ts=st.floats(min_value=0, max_value=1e9, allow_nan=False))
+    def test_different_secrets_different_signatures(self, secret, other,
+                                                    ts):
+        if secret != other:
+            assert sign_request(secret, {"a": 1}, ts) != \
+                sign_request(other, {"a": 1}, ts)

@@ -1,0 +1,77 @@
+"""Property-based tests for the guest shell tokenizer and build specs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buildspec import RaiBuildSpec, parse_build_spec, render_build_spec
+from repro.container.shell import expand_variables, split_sequence
+
+safe_chars = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd"),
+                           whitelist_characters=" ./-_",
+                           max_codepoint=122),
+    min_size=1, max_size=20,
+).filter(lambda s: s.strip())
+
+
+class TestSplitSequenceProperties:
+    @given(segments=st.lists(safe_chars, min_size=1, max_size=5))
+    def test_join_then_split_recovers_segments(self, segments):
+        line = " && ".join(segments)
+        parsed = split_sequence(line)
+        assert [seg for _, seg in parsed] == \
+            [s.strip() for s in segments if s.strip()]
+
+    @given(segments=st.lists(safe_chars, min_size=2, max_size=5))
+    def test_connectors_are_and(self, segments):
+        line = " && ".join(segments)
+        connectors = [c for c, _ in split_sequence(line)]
+        assert connectors[0] == ""
+        assert all(c == "&&" for c in connectors[1:])
+
+    @given(text=safe_chars)
+    def test_quoted_text_is_one_segment(self, text):
+        quoted = '"' + text.replace('"', "") + '"'
+        assert len(split_sequence(f"echo {quoted}")) == 1
+
+    @given(line=st.text(max_size=50))
+    def test_never_crashes(self, line):
+        split_sequence(line)   # total function over arbitrary input
+
+
+class TestExpandVariablesProperties:
+    names = st.text(alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZ_",
+                    min_size=1, max_size=8)
+
+    @given(name=names, value=safe_chars)
+    def test_known_variable_substituted(self, name, value):
+        assert expand_variables(f"${name}", {name: value}) == value
+
+    @given(name=names)
+    def test_unknown_variable_empty(self, name):
+        assert expand_variables(f"${name}", {}) == ""
+
+    @given(text=st.text(alphabet="abc def/", max_size=30))
+    def test_text_without_dollar_unchanged(self, text):
+        assert expand_variables(text, {"X": "y"}) == text
+
+
+class TestBuildSpecProperties:
+    commands = st.lists(
+        st.text(alphabet=st.characters(whitelist_categories=("Ll", "Nd"),
+                                       whitelist_characters=" ./-_",
+                                       max_codepoint=122),
+                min_size=1, max_size=30).filter(lambda s: s.strip()),
+        min_size=1, max_size=10)
+
+    @settings(max_examples=40)
+    @given(commands=commands,
+           image=st.text(alphabet="abcdefghij/:.-", min_size=1,
+                         max_size=20).filter(
+               lambda s: s.strip() and not s.startswith(("-", ":"))))
+    def test_render_parse_roundtrip(self, commands, image):
+        normalised = [" ".join(c.split()) for c in commands]
+        spec = RaiBuildSpec(version="0.1", image=image,
+                            build_commands=normalised)
+        spec.validate()
+        assert parse_build_spec(render_build_spec(spec)) == spec

@@ -1,0 +1,105 @@
+"""Property-based tests for kernel ordering and resource invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Resource, Simulator
+
+delays = st.lists(st.floats(min_value=0.0, max_value=100.0,
+                            allow_nan=False), min_size=1, max_size=30)
+
+
+class TestEventOrdering:
+    @given(ds=delays)
+    def test_callbacks_fire_in_time_order(self, ds):
+        sim = Simulator()
+        fired = []
+        for d in ds:
+            evt = sim.timeout(d)
+            evt.callbacks.append(lambda e, d=d: fired.append(d))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(ds)
+
+    @given(ds=delays)
+    def test_clock_never_goes_backwards(self, ds):
+        sim = Simulator()
+        stamps = []
+
+        def proc(sim, d):
+            yield sim.timeout(d)
+            stamps.append(sim.now)
+
+        for d in ds:
+            sim.process(proc(sim, d))
+        sim.run()
+        assert stamps == sorted(stamps)
+        assert sim.now == max(ds)
+
+    @given(ds=delays)
+    def test_run_twice_identical(self, ds):
+        def trace(ds):
+            sim = Simulator()
+            log = []
+
+            def proc(sim, i, d):
+                yield sim.timeout(d)
+                log.append((sim.now, i))
+
+            for i, d in enumerate(ds):
+                sim.process(proc(sim, i, d))
+            sim.run()
+            return log
+
+        assert trace(ds) == trace(ds)
+
+
+class TestResourceInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(capacity=st.integers(1, 5),
+           holds=st.lists(st.floats(min_value=0.1, max_value=10.0,
+                                    allow_nan=False),
+                          min_size=1, max_size=20))
+    def test_capacity_never_exceeded_and_all_served(self, capacity, holds):
+        sim = Simulator()
+        res = Resource(sim, capacity=capacity)
+        active = [0]
+        peak = [0]
+        served = [0]
+
+        def proc(sim, hold):
+            with res.request() as req:
+                yield req
+                active[0] += 1
+                peak[0] = max(peak[0], active[0])
+                yield sim.timeout(hold)
+                active[0] -= 1
+                served[0] += 1
+
+        for hold in holds:
+            sim.process(proc(sim, hold))
+        sim.run()
+        assert peak[0] <= capacity
+        assert served[0] == len(holds)
+        assert res.count == 0
+        assert res.queue_length == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(holds=st.lists(st.floats(min_value=0.1, max_value=5.0,
+                                    allow_nan=False),
+                          min_size=2, max_size=15))
+    def test_unit_resource_serialises_fifo(self, holds):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def proc(sim, i, hold):
+            with res.request() as req:
+                yield req
+                order.append(i)
+                yield sim.timeout(hold)
+
+        for i, hold in enumerate(holds):
+            sim.process(proc(sim, i, hold))
+        sim.run()
+        assert order == list(range(len(holds)))

@@ -1,0 +1,82 @@
+"""Validation of the simulation kernel against analytic queueing theory.
+
+A discrete-event kernel earns trust by reproducing known closed forms.
+We check M/M/1 and M/M/c mean waiting times against the Erlang-C
+formulas: every burst/elasticity result in this repository rests on the
+kernel getting these right.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim import Resource, Simulator
+
+
+def run_mmc(arrival_rate: float, service_rate: float, servers: int,
+            n_jobs: int = 20000, seed: int = 0):
+    """Simulate an M/M/c queue; returns the mean wait in queue (Wq)."""
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    resource = Resource(sim, capacity=servers)
+    waits = []
+
+    def customer(sim, service_time):
+        arrived = sim.now
+        with resource.request() as req:
+            yield req
+            waits.append(sim.now - arrived)
+            yield sim.timeout(service_time)
+
+    def source(sim):
+        for _ in range(n_jobs):
+            yield sim.timeout(float(rng.exponential(1.0 / arrival_rate)))
+            sim.process(customer(sim,
+                                 float(rng.exponential(1.0 / service_rate))))
+
+    sim.process(source(sim))
+    sim.run()
+    # Discard warm-up.
+    return float(np.mean(waits[n_jobs // 10:]))
+
+
+def erlang_c_wq(arrival_rate: float, service_rate: float,
+                servers: int) -> float:
+    """Analytic mean queue wait for M/M/c."""
+    a = arrival_rate / service_rate          # offered load (Erlangs)
+    rho = a / servers
+    if rho >= 1:
+        return math.inf
+    summation = sum(a ** k / math.factorial(k) for k in range(servers))
+    erlang_c = (a ** servers / math.factorial(servers)) / (1 - rho)
+    p_wait = erlang_c / (summation + erlang_c)
+    return p_wait / (servers * service_rate - arrival_rate)
+
+
+class TestMMQueues:
+    @pytest.mark.parametrize("rho", [0.5, 0.8])
+    def test_mm1_mean_wait(self, rho):
+        service_rate = 1.0
+        arrival_rate = rho * service_rate
+        simulated = run_mmc(arrival_rate, service_rate, servers=1)
+        analytic = rho / (service_rate * (1 - rho))   # Wq for M/M/1
+        assert simulated == pytest.approx(analytic, rel=0.12)
+
+    @pytest.mark.parametrize("servers,rho", [(2, 0.7), (4, 0.8)])
+    def test_mmc_mean_wait(self, servers, rho):
+        service_rate = 1.0
+        arrival_rate = rho * servers * service_rate
+        simulated = run_mmc(arrival_rate, service_rate, servers)
+        analytic = erlang_c_wq(arrival_rate, service_rate, servers)
+        assert simulated == pytest.approx(analytic, rel=0.15)
+
+    def test_low_load_has_negligible_wait(self):
+        simulated = run_mmc(0.1, 1.0, servers=4, n_jobs=5000)
+        assert simulated < 0.01
+
+    def test_more_servers_cut_waits(self):
+        """The elasticity mechanism in its purest form."""
+        w2 = run_mmc(1.6, 1.0, servers=2)
+        w4 = run_mmc(1.6, 1.0, servers=4)
+        assert w4 < w2 / 5

@@ -1,0 +1,50 @@
+"""Unit tests for named random streams."""
+
+import numpy as np
+
+from repro.sim import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_sequence(self):
+        a = RandomStreams(7).stream("x").random(5)
+        b = RandomStreams(7).stream("x").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("x").random(5)
+        b = RandomStreams(2).stream("x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_streams_are_independent_of_creation_order(self):
+        s1 = RandomStreams(3)
+        _ = s1.stream("first").random(100)  # consume from another stream
+        a = s1.stream("target").random(5)
+
+        s2 = RandomStreams(3)
+        b = s2.stream("target").random(5)
+        assert np.array_equal(a, b)
+
+    def test_named_streams_differ(self):
+        s = RandomStreams(0)
+        assert not np.array_equal(s.stream("a").random(5),
+                                  s.stream("b").random(5))
+
+    def test_stream_is_cached(self):
+        s = RandomStreams(0)
+        assert s.stream("x") is s.stream("x")
+        assert s["x"] is s.stream("x")
+
+    def test_convenience_draws_in_range(self):
+        s = RandomStreams(0)
+        assert 2.0 <= s.uniform("u", 2.0, 3.0) < 3.0
+        assert s.exponential("e", 1.0) >= 0
+        assert 0 <= s.integers("i", 0, 10) < 10
+
+    def test_choice_and_shuffle(self):
+        s = RandomStreams(0)
+        options = ["a", "b", "c"]
+        assert s.choice("c", options) in options
+        shuffled = s.shuffled("s", options)
+        assert sorted(shuffled) == options
+        assert options == ["a", "b", "c"]  # input untouched

@@ -1,0 +1,216 @@
+"""Unit tests for Resource / PriorityResource / Store / Container."""
+
+import pytest
+
+from repro.sim import Container, PriorityResource, Resource, Store
+
+
+class TestResource:
+    def test_capacity_validated(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_grants_up_to_capacity(self, sim):
+        res = Resource(sim, capacity=2)
+        grabbed = []
+
+        def proc(sim, i):
+            with res.request() as req:
+                yield req
+                grabbed.append((sim.now, i))
+                yield sim.timeout(1)
+
+        for i in range(4):
+            sim.process(proc(sim, i))
+        sim.run()
+        assert grabbed == [(0.0, 0), (0.0, 1), (1.0, 2), (1.0, 3)]
+
+    def test_queue_length_reflects_waiters(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def holder(sim):
+            with res.request() as req:
+                yield req
+                yield sim.timeout(10)
+
+        def waiter(sim):
+            with res.request() as req:
+                yield req
+
+        sim.process(holder(sim))
+        sim.process(waiter(sim))
+        sim.run(until=1.0)
+        assert res.count == 1
+        assert res.queue_length == 1
+
+    def test_release_is_idempotent(self, sim):
+        res = Resource(sim)
+        req = res.request()
+        sim.run()
+        res.release(req)
+        res.release(req)   # no error
+        assert res.count == 0
+
+    def test_cancel_pending_request(self, sim):
+        res = Resource(sim, capacity=1)
+        first = res.request()
+        second = res.request()
+        second.cancel()
+        res.release(first)
+        assert res.count == 0  # cancelled request never granted
+
+
+class TestPriorityResource:
+    def test_lower_priority_value_wins(self, sim):
+        res = PriorityResource(sim, capacity=1)
+        order = []
+
+        def proc(sim, name, priority, delay):
+            yield sim.timeout(delay)
+            with res.request(priority=priority) as req:
+                yield req
+                order.append(name)
+                yield sim.timeout(5)
+
+        sim.process(proc(sim, "holder", 0, 0))
+        sim.process(proc(sim, "low", 5, 1))
+        sim.process(proc(sim, "high", 1, 2))
+        sim.run()
+        assert order == ["holder", "high", "low"]
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("a")
+
+        def getter(sim):
+            item = yield store.get()
+            return item
+
+        assert sim.run(until=sim.process(getter(sim))) == "a"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+
+        def getter(sim):
+            item = yield store.get()
+            return (sim.now, item)
+
+        def putter(sim):
+            yield sim.timeout(3)
+            yield store.put("late")
+
+        p = sim.process(getter(sim))
+        sim.process(putter(sim))
+        assert sim.run(until=p) == (3.0, "late")
+
+    def test_fifo_ordering(self, sim):
+        store = Store(sim)
+        for i in range(5):
+            store.put(i)
+        out = []
+
+        def getter(sim):
+            for _ in range(5):
+                out.append((yield store.get()))
+
+        sim.run(until=sim.process(getter(sim)))
+        assert out == [0, 1, 2, 3, 4]
+
+    def test_filtered_get_skips_nonmatching(self, sim):
+        store = Store(sim)
+        for i in range(5):
+            store.put(i)
+
+        def getter(sim):
+            item = yield store.get(filter=lambda x: x % 2 == 1)
+            return item
+
+        assert sim.run(until=sim.process(getter(sim))) == 1
+        assert store.peek_all() == [0, 2, 3, 4]
+
+    def test_bounded_capacity_blocks_put(self, sim):
+        store = Store(sim, capacity=1)
+        events = []
+
+        def putter(sim):
+            yield store.put("a")
+            events.append(("put-a", sim.now))
+            yield store.put("b")
+            events.append(("put-b", sim.now))
+
+        def getter(sim):
+            yield sim.timeout(5)
+            item = yield store.get()
+            events.append(("got", item, sim.now))
+
+        sim.process(putter(sim))
+        sim.process(getter(sim))
+        sim.run()
+        assert events == [("put-a", 0.0), ("got", "a", 5.0),
+                          ("put-b", 5.0)]
+
+    def test_none_is_a_valid_item(self, sim):
+        store = Store(sim)
+        store.put(None)
+
+        def getter(sim):
+            item = yield store.get()
+            return ("got", item)
+
+        assert sim.run(until=sim.process(getter(sim))) == ("got", None)
+
+    def test_capacity_validated(self, sim):
+        with pytest.raises(ValueError):
+            Store(sim, capacity=0)
+
+
+class TestContainer:
+    def test_init_level(self, sim):
+        c = Container(sim, capacity=10, init=4)
+        assert c.level == 4
+
+    def test_get_blocks_until_level(self, sim):
+        c = Container(sim, capacity=100)
+
+        def consumer(sim):
+            yield c.get(5)
+            return sim.now
+
+        def producer(sim):
+            yield sim.timeout(2)
+            yield c.put(10)
+
+        p = sim.process(consumer(sim))
+        sim.process(producer(sim))
+        assert sim.run(until=p) == 2.0
+        assert c.level == 5
+
+    def test_put_blocks_at_capacity(self, sim):
+        c = Container(sim, capacity=10, init=8)
+        done = []
+
+        def producer(sim):
+            yield c.put(5)
+            done.append(sim.now)
+
+        def consumer(sim):
+            yield sim.timeout(4)
+            yield c.get(6)
+
+        sim.process(producer(sim))
+        sim.process(consumer(sim))
+        sim.run()
+        assert done == [4.0]
+
+    def test_invalid_amounts_rejected(self, sim):
+        c = Container(sim)
+        with pytest.raises(ValueError):
+            c.put(0)
+        with pytest.raises(ValueError):
+            c.get(-1)
+
+    def test_invalid_init_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Container(sim, capacity=5, init=6)

@@ -1,0 +1,68 @@
+"""Unit tests for lifecycle expiry (§V: delete one month after last use)."""
+
+import pytest
+
+from repro.storage import LifecycleRule, ObjectStore
+from repro.storage.lifecycle import MONTH_SECONDS
+
+
+@pytest.fixture
+def store(sim):
+    s = ObjectStore(sim)
+    s.create_bucket("uploads")
+    return s
+
+
+class TestRuleValidation:
+    def test_bad_since_rejected(self):
+        with pytest.raises(ValueError):
+            LifecycleRule(since="never")
+
+    def test_nonpositive_lifetime_rejected(self):
+        with pytest.raises(ValueError):
+            LifecycleRule(expire_after=0)
+
+    def test_prefix_matching(self):
+        rule = LifecycleRule(prefix="team1/")
+        assert rule.matches("team1/x")
+        assert not rule.matches("team2/x")
+
+
+class TestExpiry:
+    def test_expires_after_creation_age(self, sim, store):
+        store.bucket("uploads").add_lifecycle_rule(
+            LifecycleRule(expire_after=100.0, since="creation"))
+        store.put_object("uploads", "old", b"x")
+        sim._now = 150.0
+        assert store.run_lifecycle_sweep() == ["uploads/old"]
+        assert not store.object_exists("uploads", "old")
+
+    def test_last_use_resets_clock(self, sim, store):
+        """The paper's rule: deleted one month after the LAST USE."""
+        store.bucket("uploads").add_lifecycle_rule(
+            LifecycleRule(expire_after=100.0, since="last_use"))
+        store.put_object("uploads", "k", b"x")
+        sim._now = 90.0
+        store.get_object("uploads", "k")   # touch
+        sim._now = 150.0                   # 60s since touch, 150 since put
+        assert store.run_lifecycle_sweep() == []
+        sim._now = 191.0
+        assert store.run_lifecycle_sweep() == ["uploads/k"]
+
+    def test_unmatched_prefix_untouched(self, sim, store):
+        store.bucket("uploads").add_lifecycle_rule(
+            LifecycleRule(prefix="tmp/", expire_after=1.0))
+        store.put_object("uploads", "keep/me", b"x")
+        sim._now = 1e9
+        assert store.run_lifecycle_sweep() == []
+
+    def test_month_constant_matches_paper(self):
+        assert MONTH_SECONDS == 30 * 24 * 3600
+
+    def test_sweeper_process(self, sim, store):
+        store.bucket("uploads").add_lifecycle_rule(
+            LifecycleRule(expire_after=10.0, since="creation"))
+        store.put_object("uploads", "k", b"x")
+        sim.process(store.lifecycle_sweeper(interval=5.0))
+        sim.run(until=16.0)
+        assert not store.object_exists("uploads", "k")

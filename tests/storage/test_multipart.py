@@ -1,0 +1,64 @@
+"""Unit tests for multipart uploads."""
+
+import pytest
+
+from repro.errors import StorageError, UploadNotFound
+from repro.storage import ObjectStore
+
+
+@pytest.fixture
+def store(sim):
+    s = ObjectStore(sim)
+    s.create_bucket("b")
+    return s
+
+
+class TestMultipart:
+    def test_out_of_order_parts_assemble(self, store):
+        up = store.initiate_multipart("b", "big")
+        up.upload_part(2, b"world")
+        up.upload_part(1, b"hello ")
+        obj = up.complete()
+        assert obj.data == b"hello world"
+        assert obj.etag.endswith("-2")
+
+    def test_reupload_replaces_part(self, store):
+        up = store.initiate_multipart("b", "k")
+        up.upload_part(1, b"bad")
+        up.upload_part(1, b"good")
+        assert up.complete().data == b"good"
+
+    def test_gap_in_parts_rejected(self, store):
+        up = store.initiate_multipart("b", "k")
+        up.upload_part(1, b"a")
+        up.upload_part(3, b"c")
+        with pytest.raises(StorageError, match="non-contiguous"):
+            up.complete()
+
+    def test_empty_complete_rejected(self, store):
+        up = store.initiate_multipart("b", "k")
+        with pytest.raises(StorageError):
+            up.complete()
+
+    def test_part_numbers_start_at_one(self, store):
+        up = store.initiate_multipart("b", "k")
+        with pytest.raises(StorageError):
+            up.upload_part(0, b"x")
+
+    def test_abort_discards(self, store):
+        up = store.initiate_multipart("b", "k")
+        up.upload_part(1, b"x")
+        up.abort()
+        assert not store.object_exists("b", "k")
+        with pytest.raises(UploadNotFound):
+            up.upload_part(2, b"y")
+
+    def test_staged_bytes(self, store):
+        up = store.initiate_multipart("b", "k")
+        up.upload_part(1, b"12345")
+        assert up.staged_bytes == 5
+
+    def test_metadata_carried(self, store):
+        up = store.initiate_multipart("b", "k", metadata={"kind": "final"})
+        up.upload_part(1, b"x")
+        assert up.complete().metadata == {"kind": "final"}

@@ -1,0 +1,57 @@
+"""Unit tests for presigned URLs."""
+
+import pytest
+
+from repro.errors import ExpiredToken, NoSuchKey, SignatureMismatch
+from repro.storage import ObjectStore
+
+
+@pytest.fixture
+def store(sim):
+    s = ObjectStore(sim)
+    s.create_bucket("builds")
+    s.put_object("builds", "job-1/build.tar.bz2", b"archive")
+    return s
+
+
+class TestPresign:
+    def test_get_roundtrip(self, store):
+        token = store.presign_get("builds", "job-1/build.tar.bz2")
+        assert store.redeem_get(token).data == b"archive"
+
+    def test_expired_token_rejected(self, sim, store):
+        token = store.presign_get("builds", "job-1/build.tar.bz2",
+                                  expires_in=100.0)
+        sim._now = 101.0
+        with pytest.raises(ExpiredToken):
+            store.redeem_get(token)
+
+    def test_tampered_token_rejected(self, store):
+        token = store.presign_get("builds", "job-1/build.tar.bz2")
+        with pytest.raises(SignatureMismatch):
+            store.redeem_get(token[:-4] + "AAAA")
+        with pytest.raises(SignatureMismatch):
+            store.redeem_get("garbage")
+
+    def test_put_token_allows_upload(self, store):
+        token = store.presign_put("builds", "incoming/new")
+        obj = store.redeem_put(token, b"uploaded")
+        assert obj.data == b"uploaded"
+        assert store.object_exists("builds", "incoming/new")
+
+    def test_method_confusion_rejected(self, store):
+        get_token = store.presign_get("builds", "job-1/build.tar.bz2")
+        with pytest.raises(SignatureMismatch):
+            store.redeem_put(get_token, b"sneaky")
+
+    def test_presign_get_requires_existing_object(self, store):
+        with pytest.raises(NoSuchKey):
+            store.presign_get("builds", "ghost")
+
+    def test_different_stores_tokens_dont_cross(self, sim, store):
+        other = ObjectStore(sim, secret=b"other-secret")
+        other.create_bucket("builds")
+        other.put_object("builds", "job-1/build.tar.bz2", b"x")
+        token = other.presign_get("builds", "job-1/build.tar.bz2")
+        with pytest.raises(SignatureMismatch):
+            store.redeem_get(token)

@@ -1,0 +1,75 @@
+"""Unit tests for VFS path algebra."""
+
+import pytest
+
+from repro.vfs.path import (
+    basename,
+    is_within,
+    join,
+    normalize,
+    parent_of,
+    split_parts,
+)
+
+
+class TestNormalize:
+    @pytest.mark.parametrize("raw,expected", [
+        ("/a/b", "/a/b"),
+        ("a/b", "/a/b"),
+        ("/a//b/", "/a/b"),
+        ("/a/./b", "/a/b"),
+        ("/a/../b", "/b"),
+        ("/../..", "/"),
+        ("", "/"),
+        ("/", "/"),
+        ("/a/b/../../c", "/c"),
+    ])
+    def test_cases(self, raw, expected):
+        assert normalize(raw) == expected
+
+    def test_dotdot_cannot_escape_root(self):
+        assert normalize("/../../../etc/passwd") == "/etc/passwd"
+
+
+class TestSplitParts:
+    def test_root_is_empty(self):
+        assert split_parts("/") == ()
+
+    def test_components(self):
+        assert split_parts("/a/b/c") == ("a", "b", "c")
+
+
+class TestJoin:
+    def test_relative(self):
+        assert join("/a", "b", "c") == "/a/b/c"
+
+    def test_absolute_restarts(self):
+        assert join("/a/b", "/x", "y") == "/x/y"
+
+    def test_dotdot_in_join(self):
+        assert join("/a/b", "../c") == "/a/c"
+
+
+class TestParentBase:
+    def test_parent(self):
+        assert parent_of("/a/b/c") == "/a/b"
+        assert parent_of("/a") == "/"
+        assert parent_of("/") == "/"
+
+    def test_basename(self):
+        assert basename("/a/b/c.txt") == "c.txt"
+        assert basename("/") == ""
+
+
+class TestIsWithin:
+    def test_self(self):
+        assert is_within("/a/b", "/a/b")
+
+    def test_child(self):
+        assert is_within("/a/b/c", "/a/b")
+
+    def test_sibling_not_within(self):
+        assert not is_within("/a/bc", "/a/b")
+
+    def test_root_contains_all(self):
+        assert is_within("/anything", "/")

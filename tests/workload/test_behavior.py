@@ -1,0 +1,73 @@
+"""Unit tests for the submission-behaviour model."""
+
+import numpy as np
+import pytest
+
+from repro.workload.behavior import (
+    CIRCADIAN_WEIGHTS,
+    DAY,
+    HOUR,
+    circadian_weight,
+    deadline_boost,
+    sample_think_time,
+    submission_rate,
+)
+
+
+class TestCircadian:
+    def test_24_weights_mean_one(self):
+        assert len(CIRCADIAN_WEIGHTS) == 24
+        mean = np.mean([circadian_weight(h * HOUR) for h in range(24)])
+        assert mean == pytest.approx(1.0)
+
+    def test_night_quieter_than_evening(self):
+        assert circadian_weight(4 * HOUR) < circadian_weight(20 * HOUR) / 5
+
+    def test_wraps_across_days(self):
+        assert circadian_weight(3 * HOUR) == \
+            circadian_weight(3 * HOUR + 5 * DAY)
+
+
+class TestDeadlineBoost:
+    def test_increases_toward_deadline(self):
+        deadline = 14 * DAY
+        early = deadline_boost(0, deadline)
+        late = deadline_boost(deadline - DAY, deadline)
+        assert late > early * 3
+
+    def test_saturates(self):
+        deadline = 14 * DAY
+        assert deadline_boost(deadline - 60, deadline) <= 6.0 + 0.35
+
+    def test_collapses_after_deadline(self):
+        assert deadline_boost(15 * DAY, 14 * DAY) < 0.1
+
+
+class TestThinkTimes:
+    def test_bounds_respected(self):
+        rng = np.random.default_rng(0)
+        deadline = 14 * DAY
+        for t in np.linspace(0, deadline, 50):
+            think = sample_think_time(rng, t, deadline)
+            assert 35.0 <= think <= 8 * HOUR
+
+    def test_minimum_exceeds_rate_limit_window(self):
+        """Teams physically cannot trip the 30s limit by think time."""
+        rng = np.random.default_rng(0)
+        think = sample_think_time(rng, 13.9 * DAY, 14 * DAY)
+        assert think > 30.0
+
+    def test_mean_think_shrinks_near_deadline(self):
+        rng = np.random.default_rng(0)
+        deadline = 14 * DAY
+        early = np.mean([sample_think_time(rng, 12 * HOUR, deadline)
+                         for _ in range(400)])
+        late = np.mean([sample_think_time(rng, deadline - 12 * HOUR,
+                                          deadline) for _ in range(400)])
+        assert late < early / 2
+
+    def test_rate_composition(self):
+        deadline = 14 * DAY
+        quiet = submission_rate(4 * HOUR, deadline)          # 4 am day 0
+        busy = submission_rate(deadline - 4 * HOUR, deadline)  # evening rush
+        assert busy > quiet * 10

@@ -1,0 +1,80 @@
+"""Integration tests for the course driver (scaled-down classes)."""
+
+import pytest
+
+from repro.core.job import JobStatus
+from repro.workload.course import CourseConfig, CourseSimulation
+
+DAY = 24 * 3600.0
+
+
+@pytest.fixture(scope="module")
+def small_course():
+    """One shared 6-team, 4-day replay (module-scoped: it's expensive)."""
+    config = CourseConfig(n_students=18, n_teams=6, duration_days=4.0,
+                          seed=21, final_week_instances=4)
+    sim = CourseSimulation(config)
+    result = sim.run()
+    return sim, result
+
+
+class TestCourseRun:
+    def test_every_team_submits(self, small_course):
+        _, result = small_course
+        assert len(result.submission_times) > 50
+        per_team = result.team_results
+        assert set(per_team) == {t.name for t in result.teams}
+        assert all(len(v) >= 1 for v in per_team.values())
+
+    def test_every_team_has_a_final_ranking(self, small_course):
+        sim, result = small_course
+        assert len(result.final_results) == 6
+        assert len(sim.system.ranking) == 6
+
+    def test_final_results_succeeded(self, small_course):
+        _, result = small_course
+        assert all(r.status is JobStatus.SUCCEEDED
+                   for r in result.final_results.values())
+
+    def test_submissions_increase_toward_deadline(self, small_course):
+        _, result = small_course
+        first_half = result.submissions_in_window(0, 2)
+        second_half = result.submissions_in_window(2, 4)
+        assert len(second_half) > len(first_half)
+
+    def test_ranking_correlates_with_skill(self, small_course):
+        sim, _ = small_course
+        board = sim.system.ranking.leaderboard()
+        skill = {t.name: t.skill for t in sim.teams}
+        top = board[0]["team"]
+        bottom = board[-1]["team"]
+        assert skill[top] > skill[bottom]
+
+    def test_credentials_issued_via_mailer(self, small_course):
+        sim, _ = small_course
+        assert len(sim.outbox) == 18    # one email per student
+        assert len(sim.system.keystore) == 18
+
+    def test_storage_accounting_nonzero(self, small_course):
+        _, result = small_course
+        totals = result.totals()
+        assert totals["uploaded_bytes"] > totals["submissions"] * 1000
+        assert totals["file_server_bytes"] > 0
+        assert totals["jobs_recorded"] == totals["submissions"]
+
+    def test_cost_accrued(self, small_course):
+        sim, result = small_course
+        assert result.totals()["cost_usd"] > 0
+        report = sim.cost_report()
+        assert report.jobs_completed > 0
+
+    def test_determinism(self):
+        def once():
+            config = CourseConfig(n_students=6, n_teams=2,
+                                  duration_days=1.5, seed=5,
+                                  final_week_instances=2)
+            result = CourseSimulation(config).run()
+            return (len(result.submission_times),
+                    sorted(result.final_results))
+
+        assert once() == once()

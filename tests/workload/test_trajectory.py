@@ -1,0 +1,89 @@
+"""Unit tests for optimisation trajectories and project synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.container.commands.base import parse_source_markers
+from repro.workload.students import Team, Student
+from repro.workload.trajectory import TeamTrajectory, team_project_files
+
+
+def make_team(skill=0.9):
+    return Team(name="t", members=[Student("s1", "A", "B")], skill=skill)
+
+
+@pytest.fixture
+def trajectory():
+    return TeamTrajectory(team=make_team(0.9))
+
+
+class TestQualityCurve:
+    def test_monotone_nondecreasing(self, trajectory):
+        qs = [trajectory.quality_at(t) for t in np.linspace(0, 1, 21)]
+        assert all(b >= a - 1e-12 for a, b in zip(qs, qs[1:]))
+
+    def test_starts_near_zero_ends_near_skill(self, trajectory):
+        assert trajectory.quality_at(0.0) < 0.05
+        assert trajectory.quality_at(1.0) > 0.85 * trajectory.final_quality
+
+    def test_midpoint_is_half(self, trajectory):
+        mid_quality = trajectory.quality_at(trajectory.midpoint)
+        assert mid_quality == pytest.approx(trajectory.final_quality / 2,
+                                            rel=0.01)
+
+    def test_failure_rates_decay(self, trajectory):
+        assert trajectory.compile_error_rate(0.0) > \
+            trajectory.compile_error_rate(1.0)
+        assert trajectory.wrong_rate(0.0) > trajectory.wrong_rate(1.0)
+
+    def test_for_team_randomises_midpoint(self):
+        rng = np.random.default_rng(0)
+        ts = [TeamTrajectory.for_team(make_team(), rng) for _ in range(5)]
+        assert len({t.midpoint for t in ts}) > 1
+
+
+class TestProjectFiles:
+    def test_contains_buildable_sources(self, trajectory):
+        rng = np.random.default_rng(0)
+        files = team_project_files(trajectory, 0.9, rng)
+        assert "main.cu" in files and "CMakeLists.txt" in files
+        assert "@rai-sim" in files["main.cu"]
+
+    def test_markers_parse_back(self, trajectory):
+        rng = np.random.default_rng(0)
+        files = team_project_files(trajectory, 0.95, rng)
+        profile = parse_source_markers({"main.cu": files["main.cu"]})
+        assert 0.0 <= profile["quality"] <= 1.0
+        assert profile["impl"] == "analytic"
+
+    def test_late_quality_near_skill(self, trajectory):
+        rng = np.random.default_rng(0)
+        files = team_project_files(trajectory, 1.0, rng)
+        profile = parse_source_markers({"main.cu": files["main.cu"]})
+        assert profile["quality"] > 0.75
+
+    def test_final_includes_required_files(self, trajectory):
+        rng = np.random.default_rng(0)
+        files = team_project_files(trajectory, 1.0, rng, final=True)
+        assert "USAGE" in files
+        assert files["report.pdf"].startswith(b"%PDF")
+
+    def test_dev_runs_lack_final_files(self, trajectory):
+        rng = np.random.default_rng(0)
+        files = team_project_files(trajectory, 0.5, rng, final=False)
+        assert "USAGE" not in files
+
+    def test_early_submissions_fail_more(self, trajectory):
+        rng = np.random.default_rng(12)
+        early_fail = late_fail = 0
+        n = 300
+        for _ in range(n):
+            early = parse_source_markers({"m": team_project_files(
+                trajectory, 0.05, rng)["main.cu"]})
+            late = parse_source_markers({"m": team_project_files(
+                trajectory, 0.95, rng)["main.cu"]})
+            early_fail += early["compile"] == "error" or \
+                early["runtime"] == "crash"
+            late_fail += late["compile"] == "error" or \
+                late["runtime"] == "crash"
+        assert early_fail > late_fail * 2
