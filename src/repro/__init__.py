@@ -40,6 +40,9 @@ _LAZY_EXPORTS = {
     "RaiBuildSpec": ("repro.buildspec", "RaiBuildSpec"),
     "default_build_spec": ("repro.buildspec", "default_build_spec"),
     "final_submission_spec": ("repro.buildspec", "final_submission_spec"),
+    "FaultPlan": ("repro.faults", "FaultPlan"),
+    "FaultInjector": ("repro.faults", "FaultInjector"),
+    "RetryPolicy": ("repro.faults", "RetryPolicy"),
 }
 
 
@@ -72,4 +75,7 @@ __all__ = [
     "RaiBuildSpec",
     "default_build_spec",
     "final_submission_spec",
+    "FaultPlan",
+    "FaultInjector",
+    "RetryPolicy",
 ]

@@ -107,6 +107,27 @@ class MessageBroker:
             self.counters.incr("stale_requeued", total)
         return total
 
+    def dead_letter_count(self) -> int:
+        """Messages currently parked in dead-letter lists, broker-wide."""
+        return sum(len(channel.dead_letters)
+                   for topic in self.topics.values()
+                   for channel in topic.channels.values())
+
+    def drain_dead_letters(self):
+        """Remove every dead-lettered message broker-wide.
+
+        Returns ``(route, message)`` pairs so a system-level consumer can
+        record where each poison message was parked.
+        """
+        drained = []
+        for topic in list(self.topics.values()):
+            for channel in topic.channels.values():
+                for message in channel.drain_dead_letters():
+                    drained.append((f"{topic.name}/{channel.name}", message))
+        if drained:
+            self.counters.incr("dead_letters_drained", len(drained))
+        return drained
+
     def caretaker(self, interval: float = 60.0,
                   in_flight_timeout: float = 2 * 3600.0):
         """Kernel process sweeping for abandoned in-flight messages.

@@ -73,6 +73,21 @@ class Consumer:
         evt.callbacks.insert(0, self._channel._on_deliver)
         return evt
 
+    def cancel(self, get_event) -> None:
+        """Withdraw a pending :meth:`get` safely.
+
+        If no message has been delivered yet the event is resolved with
+        ``None`` (the channel's deliver callback tolerates this); if the
+        cancel raced an actual delivery, the message is handed straight
+        back to the channel so it is not lost.
+        """
+        if not get_event.triggered:
+            get_event.succeed(None)
+        else:
+            get_event.callbacks.append(
+                lambda evt: evt.value is not None and
+                self.requeue(evt.value))
+
     def ack(self, message: Message) -> None:
         self._channel.ack(message)
 

@@ -30,6 +30,7 @@ class Channel(Store):
         self.total_delivered = 0
         self.total_acked = 0
         self.total_requeued = 0
+        self.total_dead_lettered = 0
 
     @property
     def depth(self) -> int:
@@ -67,10 +68,17 @@ class Channel(Store):
         self.in_flight.pop(message.id, None)
         if message.attempts >= self.max_attempts:
             self.dead_letters.append(message)
+            self.total_dead_lettered += 1
             return False
         self.total_requeued += 1
         self.put(message)
         return True
+
+    def drain_dead_letters(self) -> List[Message]:
+        """Remove and return every dead-lettered message (for a consumer
+        that routes poison messages somewhere durable)."""
+        drained, self.dead_letters = self.dead_letters, []
+        return drained
 
     def requeue_stale(self, in_flight_timeout: float) -> int:
         """Requeue messages delivered but not acked within the timeout.
@@ -98,6 +106,7 @@ class Channel(Store):
             "acked": self.total_acked,
             "requeued": self.total_requeued,
             "dead_letters": len(self.dead_letters),
+            "dead_lettered_total": self.total_dead_lettered,
         }
 
 

@@ -1,0 +1,38 @@
+"""The ``rai-build.yml`` build specification (§V, Listings 1 & 2).
+
+A build spec names the sandbox base image and the command list the worker
+executes inside it::
+
+    rai:
+      version: '0.1'
+      image: webgpu/rai:root
+    commands:
+      build:
+        - cmake /src
+        - make
+
+Version ``0.2`` adds the §V "machine requirements" extension: an optional
+``resources`` section requesting GPUs/memory.  Parsing and rendering are
+exact inverses (``parse_build_spec(render_build_spec(spec)) == spec``).
+"""
+
+from repro.buildspec.spec import RaiBuildSpec, ResourceRequest, SUPPORTED_VERSIONS
+from repro.buildspec.parser import parse_build_spec, render_build_spec
+from repro.buildspec.defaults import (
+    DEFAULT_BUILD_YAML,
+    FINAL_SUBMISSION_YAML,
+    default_build_spec,
+    final_submission_spec,
+)
+
+__all__ = [
+    "RaiBuildSpec",
+    "ResourceRequest",
+    "SUPPORTED_VERSIONS",
+    "parse_build_spec",
+    "render_build_spec",
+    "DEFAULT_BUILD_YAML",
+    "FINAL_SUBMISSION_YAML",
+    "default_build_spec",
+    "final_submission_spec",
+]

@@ -1,0 +1,53 @@
+"""The two canonical build files (paper Listings 1 & 2).
+
+Listing 1 is the course default ``rai-build.yml`` used when a project has
+none; Listing 2 is the *enforced* final-submission build file — "the build
+file is provided by the teaching staff and cannot be modified" (§V,
+Student Final Submission).
+"""
+
+from __future__ import annotations
+
+from repro.buildspec.parser import parse_build_spec
+from repro.buildspec.spec import RaiBuildSpec
+
+#: Listing 1 — the default development build: configure, build, run the
+#: small test10 dataset, and profile it under nvprof.
+DEFAULT_BUILD_YAML = """\
+rai:
+  version: '0.1'
+  image: webgpu/rai:root
+commands:
+  build:
+    - echo "Building project"
+    - cmake /src
+    - make
+    - ./ece408 /data/test10.hdf5 /data/model.hdf5 10
+    - nvprof --export-profile timeline.nvprof ./ece408 /data/test10.hdf5 /data/model.hdf5 10
+"""
+
+#: Listing 2 — the final-submission build: snapshot the sources into the
+#: build output, rebuild from scratch, and time the full-dataset run with
+#: ``/usr/bin/time`` (the instructor-trusted external timer).
+FINAL_SUBMISSION_YAML = """\
+rai:
+  version: '0.1'
+  image: webgpu/rai:root
+commands:
+  build:
+    - echo "Submitting project"
+    - cp -r /src /build/submission_code
+    - cmake /src
+    - make
+    - /usr/bin/time ./ece408 /data/testfull.hdf5 /data/model.hdf5
+"""
+
+
+def default_build_spec() -> RaiBuildSpec:
+    """Listing 1, parsed."""
+    return parse_build_spec(DEFAULT_BUILD_YAML)
+
+
+def final_submission_spec() -> RaiBuildSpec:
+    """Listing 2, parsed."""
+    return parse_build_spec(FINAL_SUBMISSION_YAML)

@@ -1,0 +1,67 @@
+"""Build-spec data model and validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import SpecValidationError, UnsupportedSpecVersion
+
+#: Spec versions this worker generation understands.  "0.1" is the course
+#: format of Listings 1 & 2; "0.2" adds the optional ``resources`` section
+#: (§V's "machine requirements" future extension).
+SUPPORTED_VERSIONS = ("0.1", "0.2")
+
+
+@dataclass(frozen=True)
+class ResourceRequest:
+    """Machine requirements a job may declare (spec version 0.2)."""
+
+    gpus: int = 1
+    memory_gb: Optional[float] = None
+    cpus: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.gpus < 0:
+            raise SpecValidationError("resources.gpus must be >= 0")
+        if self.memory_gb is not None and self.memory_gb <= 0:
+            raise SpecValidationError("resources.memory_gb must be positive")
+        if self.cpus is not None and self.cpus < 1:
+            raise SpecValidationError("resources.cpus must be >= 1")
+
+
+@dataclass
+class RaiBuildSpec:
+    """One parsed ``rai-build.yml``."""
+
+    version: str
+    image: str
+    build_commands: List[str] = field(default_factory=list)
+    resources: Optional[ResourceRequest] = None
+
+    def validate(self, image_whitelist: Optional[Sequence[str]] = None) -> None:
+        """Raise a :class:`~repro.errors.BuildSpecError` subclass on any
+        problem; the worker surfaces the message to the student (§V step 2).
+        """
+        if self.version not in SUPPORTED_VERSIONS:
+            raise UnsupportedSpecVersion(
+                f"rai-build.yml version {self.version!r} is not supported "
+                f"(supported: {', '.join(SUPPORTED_VERSIONS)})")
+        if not self.image or not str(self.image).strip():
+            raise SpecValidationError("rai.image must name a base image")
+        if not self.build_commands:
+            raise SpecValidationError("commands.build must list at least "
+                                      "one command")
+        for command in self.build_commands:
+            if not isinstance(command, str) or not command.strip():
+                raise SpecValidationError(
+                    f"commands.build entries must be non-empty strings, "
+                    f"got {command!r}")
+        if self.resources is not None:
+            if self.version == "0.1":
+                raise SpecValidationError(
+                    "the resources section requires version 0.2")
+            self.resources.validate()
+        if image_whitelist is not None and self.image not in image_whitelist:
+            raise SpecValidationError(
+                f"image {self.image!r} is not on the course whitelist")

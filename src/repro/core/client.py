@@ -26,7 +26,13 @@ from repro.auth.signing import sign_request
 from repro.broker.client import Consumer
 from repro.buildspec.defaults import DEFAULT_BUILD_YAML, FINAL_SUBMISSION_YAML
 from repro.core.job import Job, JobKind, JobResult, JobStatus, new_job_id
-from repro.errors import InvalidCredentials, RateLimited, SubmissionRejected
+from repro.errors import (
+    BrokerError,
+    InvalidCredentials,
+    RateLimited,
+    StorageError,
+    SubmissionRejected,
+)
 from repro.vfs import VirtualFileSystem, pack_tree
 
 #: Files a final submission must contain (§V, Student Final Submission):
@@ -79,12 +85,19 @@ class RaiClient:
     # -- the submission process ------------------------------------------------
 
     def submit(self, kind: JobKind = JobKind.RUN,
-               raise_on_reject: bool = False):
+               raise_on_reject: bool = False,
+               wait_timeout: Optional[float] = None):
         """Generator implementing the eight client steps.
 
         Returns (via the process value) a :class:`JobResult`.  Local
         rejections (rate limit, bad credentials, missing final-submission
         files) produce a ``REJECTED`` result unless ``raise_on_reject``.
+
+        ``wait_timeout`` bounds the End wait (step 6); it defaults to
+        ``SystemConfig.client_wait_timeout_seconds`` (``None`` = wait
+        forever, the paper's behaviour).  On expiry the result is terminal
+        with ``JobStatus.TIMEOUT`` — the job may still complete server-side,
+        but this client has stopped listening.
         """
         result = JobResult(job_id="(unassigned)")
         self.history.append(result)
@@ -134,11 +147,15 @@ class RaiClient:
         job_id = new_job_id()
         result.job_id = job_id
         upload_key = f"{self.username}/{job_id}.tar.bz2"
-        self.system.storage.put_object(
-            self.system.config.upload_bucket, upload_key, archive,
-            metadata={"username": self.username, "team": self.team or "",
-                      "kind": kind.value, "job_id": job_id},
-            padding_bytes=self.project_padding_bytes)
+        try:
+            self.system.storage.put_object(
+                self.system.config.upload_bucket, upload_key, archive,
+                metadata={"username": self.username, "team": self.team or "",
+                          "kind": kind.value, "job_id": job_id},
+                padding_bytes=self.project_padding_bytes)
+        except StorageError as exc:
+            self.system.monitor.incr("client_upload_failures")
+            return reject(SubmissionRejected(f"project upload failed: {exc}"))
         self.system.monitor.incr("bytes_uploaded", upload_bytes)
 
         # Step 4 — create and sign the job request.
@@ -162,16 +179,48 @@ class RaiClient:
         # Step 5 — subscribe to the log topic *before* publishing, so not
         # even the first worker message can be missed.
         consumer = Consumer(self.system.broker, f"log_{job_id}/#ch")
-        self.system.broker.publish("rai", job.to_message())
+        try:
+            self.system.broker.publish("rai", job.to_message())
+        except BrokerError as exc:
+            # The job never reached the queue; release the log subscription
+            # (otherwise the ephemeral log topic is pinned forever).
+            consumer.close()
+            self.system.monitor.incr("client_publish_rejected")
+            return reject(SubmissionRejected(
+                f"job request rejected by the broker: {exc}"))
         result.status = JobStatus.QUEUED
         result.queued_at = self.sim.now
         self.system.monitor.incr("jobs_submitted")
         self.system.monitor.record_submission(self.sim.now, kind)
 
-        # Step 6 — consume messages until End.
+        if wait_timeout is None:
+            wait_timeout = self.system.config.client_wait_timeout_seconds
+        wait_deadline = (self.sim.now + wait_timeout
+                         if wait_timeout is not None else None)
+
+        # Step 6 — consume messages until End (or the wait deadline).
         try:
             while True:
-                message = yield consumer.get()
+                get_event = consumer.get()
+                if wait_deadline is None:
+                    message = yield get_event
+                else:
+                    remaining = wait_deadline - self.sim.now
+                    if remaining > 0:
+                        yield self.sim.any_of(
+                            [get_event, self.sim.timeout(remaining)])
+                    if not get_event.triggered:
+                        consumer.cancel(get_event)
+                        result.status = JobStatus.TIMEOUT
+                        result.error = (
+                            f"timed out after {wait_timeout:.0f}s waiting "
+                            f"for job completion")
+                        result.finished_at = self.sim.now
+                        self.system.monitor.incr("client_wait_timeouts")
+                        break
+                    message = get_event.value
+                if message is None:
+                    continue
                 payload = message.body
                 consumer.ack(message)
                 mtype = payload.get("type")

@@ -8,8 +8,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.container.limits import ResourceLimits
+from repro.faults.retry import RetryPolicy
 
 
 @dataclass
@@ -37,10 +39,20 @@ class WorkerConfig:
     contention_jitter: float = 0.35
     #: Serve interactive sessions (§VIII future work) alongside batch jobs.
     enable_interactive: bool = False
+    #: Whole-job wall-clock deadline (fetch + pull + build + upload).  The
+    #: container lifetime cap only meters *charged* guest time; this closes
+    #: the gap so a job can never hold an executor slot forever.  ``None``
+    #: disables it.
+    job_deadline_seconds: Optional[float] = 3600.0
+    #: Retry budget for storage fetch/upload (transient errors only).
+    storage_retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self):
         if self.max_concurrent_jobs < 1:
             raise ValueError("max_concurrent_jobs must be >= 1")
+        if self.job_deadline_seconds is not None \
+                and self.job_deadline_seconds <= 0:
+            raise ValueError("job_deadline_seconds must be positive")
 
 
 @dataclass
@@ -59,3 +71,10 @@ class SystemConfig:
     build_lifetime_seconds: float = 90 * 24 * 3600.0
     #: Presigned build-URL validity.
     presign_expiry_seconds: float = 7 * 24 * 3600.0
+    #: Default client-side End-wait timeout.  ``None`` keeps the paper's
+    #: behaviour (the client blocks until End arrives — possibly forever
+    #: if nothing redelivers a crashed worker's job); a finite value makes
+    #: ``submit()`` return a terminal TIMEOUT result instead.
+    client_wait_timeout_seconds: Optional[float] = None
+    #: Sweep interval of the system dead-letter consumer (opt-in process).
+    dead_letter_sweep_seconds: float = 300.0

@@ -34,11 +34,14 @@ class JobStatus(enum.Enum):
     SUCCEEDED = "succeeded"
     FAILED = "failed"
     REJECTED = "rejected"     # bad credentials / spec / rate limit
+    TIMEOUT = "timeout"       # client gave up waiting for End
+    DEAD_LETTERED = "dead_lettered"  # task message exhausted redelivery
 
     @property
     def is_terminal(self) -> bool:
         return self in (JobStatus.SUCCEEDED, JobStatus.FAILED,
-                        JobStatus.REJECTED)
+                        JobStatus.REJECTED, JobStatus.TIMEOUT,
+                        JobStatus.DEAD_LETTERED)
 
 
 @dataclass

@@ -16,7 +16,7 @@ from repro.broker.broker import MessageBroker
 from repro.container.image import ImageRegistry, default_registry
 from repro.core.client import RaiClient
 from repro.core.config import SystemConfig, WorkerConfig
-from repro.core.job import JobKind
+from repro.core.job import JobKind, JobStatus
 from repro.core.ranking import RankingService
 from repro.core.ratelimit import RateLimiter
 from repro.core.worker import RaiWorker
@@ -139,6 +139,71 @@ class RaiSystem:
         return self.sim.process(self.broker.caretaker(
             interval=interval, in_flight_timeout=in_flight_timeout))
 
+    # -- failure recovery ------------------------------------------------------
+
+    def drain_dead_letters(self) -> int:
+        """One sweep: move every dead-lettered message into the docdb.
+
+        Poison task messages (malformed, or redelivered past the attempt
+        budget) must not vanish silently: each lands in ``submissions``
+        with a ``dead_lettered`` status, and any client still waiting on
+        the job's log topic is unblocked with a terminal End message.
+        """
+        drained = 0
+        submissions = self.db.collection("submissions")
+        for route, message in self.broker.drain_dead_letters():
+            body = message.body if isinstance(message.body, dict) else {}
+            job_id = body.get("job_id")
+            if job_id is None or \
+                    submissions.find_one({"job_id": job_id}) is None:
+                submissions.insert_one({
+                    "job_id": job_id,
+                    "kind": body.get("kind"),
+                    "username": body.get("username"),
+                    "team": body.get("team"),
+                    "worker": None,
+                    "status": JobStatus.DEAD_LETTERED.value,
+                    "exit_code": None,
+                    "submitted_at": body.get("submitted_at"),
+                    "finished_at": self.sim.now,
+                    "route": route,
+                    "attempts": message.attempts,
+                    "message_id": message.id,
+                })
+            if job_id is not None and self.broker.has_topic(f"log_{job_id}"):
+                self.broker.publish(f"log_{job_id}", {
+                    "type": "end", "t": self.sim.now, "worker": None,
+                    "status": JobStatus.DEAD_LETTERED.value,
+                    "exit_code": None,
+                    "reason": f"task message dead-lettered after "
+                              f"{message.attempts} delivery attempts"})
+            drained += 1
+            self.monitor.incr("dead_letters_drained")
+            self.monitor.log("dead_letter_drained", route=route,
+                             message_id=message.id, job_id=job_id,
+                             attempts=message.attempts)
+        return drained
+
+    def start_dead_letter_consumer(self, interval: Optional[float] = None):
+        """Start the periodic dead-letter drain (opt-in, like the
+        caretaker: it is a perpetual process)."""
+        if interval is None:
+            interval = self.config.dead_letter_sweep_seconds
+
+        def _consumer_loop():
+            while True:
+                yield self.sim.timeout(interval)
+                self.drain_dead_letters()
+
+        return self.sim.process(_consumer_loop())
+
+    def start_fault_plan(self, plan):
+        """Arm a :class:`~repro.faults.FaultPlan` against this deployment;
+        returns the started :class:`~repro.faults.FaultInjector`."""
+        from repro.faults.injector import FaultInjector
+
+        return FaultInjector(self, plan).start()
+
     # -- running ------------------------------------------------------------
 
     def run(self, process_or_generator=None, until: Optional[float] = None):
@@ -176,6 +241,7 @@ class RaiSystem:
                 "jobs_failed": sum(w.jobs_failed for w in self.workers),
             },
             "queue_depth": self.queue_depth(),
+            "dead_letters": self.broker.dead_letter_count(),
             "submissions_recorded": len(submissions),
             "storage": self.storage.stats(),
             "database": self.db.stats(),

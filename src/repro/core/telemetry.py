@@ -23,7 +23,13 @@ class TelemetrySampler:
     - ``queue_depth`` — jobs waiting (incl. topic backlog);
     - ``workers_running`` / ``jobs_active`` — fleet state;
     - ``storage_bytes`` — file-server footprint;
-    - ``in_flight`` — broker messages delivered but unacked.
+    - ``in_flight`` — broker messages delivered but unacked;
+    - ``dead_letters`` — poison messages awaiting the dead-letter drain;
+    - ``faults_injected`` / ``storage_retries`` — cumulative chaos and
+      recovery activity (flat at 0 in a clean run).
+
+    Each sample also bumps a ``telemetry_heartbeats`` counter, so a stuck
+    sampler (or a stuck simulation) is itself observable.
     """
 
     def __init__(self, system, interval: float = 300.0):
@@ -51,6 +57,13 @@ class TelemetrySampler:
                 for topic in self.system.broker.topics.values()
                 for channel in topic.channels.values())
             monitor.record("in_flight", in_flight)
+            monitor.record("dead_letters",
+                           self.system.broker.dead_letter_count())
+            monitor.record("faults_injected",
+                           monitor.counters.get("faults_injected"))
+            monitor.record("storage_retries",
+                           monitor.counters.get("storage_retries"))
+            monitor.incr("telemetry_heartbeats")
 
     # -- analysis ------------------------------------------------------------
 
@@ -78,6 +91,19 @@ def health_report(system, sampler: Optional[TelemetrySampler] = None) -> str:
         ["db documents", stats["database"]["total_documents"]],
         ["rate-limit rejections", stats["rate_limiter"]["rejected"]],
     ]
+    counters = system.monitor.counters
+    recovery = [
+        ("dead letters (parked)", stats.get("dead_letters", 0)),
+        ("dead letters (drained)", counters.get("dead_letters_drained")),
+        ("storage retries", counters.get("storage_retries")),
+        ("faults injected", counters.get("faults_injected")),
+        ("duplicate records suppressed",
+         counters.get("duplicate_records_suppressed")),
+        ("jobs past deadline", counters.get("jobs_deadline_exceeded")),
+    ]
+    for label, value in recovery:
+        if value:
+            rows.append([label, int(value)])
     if sampler is not None:
         for signal in ("queue_depth", "workers_running", "jobs_active"):
             rows.append([f"{signal} (avg)", f"{sampler.average(signal):.2f}"])

@@ -33,7 +33,10 @@ from repro.errors import (
     ContainerError,
     InvalidCredentials,
     Interrupt,
+    JobDeadlineExceeded,
     SignatureMismatch,
+    StorageError,
+    TransientStorageError,
 )
 from repro.gpu.device import get_device
 from repro.vfs import VirtualFileSystem, pack_tree, unpack_tree
@@ -63,6 +66,9 @@ class RaiWorker:
             clock=lambda: self.sim.now,
         )
         self._rng = system.rng.stream(f"worker:{self.id}")
+        # Backoff jitter draws from its own stream so retries never perturb
+        # the timing-noise sequence of a fault-free run with the same seed.
+        self._retry_rng = system.rng.stream(f"worker:{self.id}:retry")
         self._stopped = False
         self._crashed = False
         self.active_jobs = 0
@@ -141,7 +147,7 @@ class RaiWorker:
                     break
                 start = self.sim.now
                 try:
-                    yield from self._process_job(message)
+                    outcome = yield from self._process_job(message)
                 except Interrupt:
                     self.busy_seconds += self.sim.now - start
                     if not self._crashed:
@@ -152,7 +158,20 @@ class RaiWorker:
                         consumer.ack(message)
                     break
                 self.busy_seconds += self.sim.now - start
-                consumer.ack(message)
+                if outcome is False:
+                    # Unparseable message: requeue it (another worker
+                    # generation might understand it) until the attempt
+                    # budget routes it to the dead-letter list, where the
+                    # system dead-letter consumer picks it up.
+                    if not consumer.requeue(message):
+                        self.system.monitor.incr(
+                            "task_messages_dead_lettered")
+                        self.system.monitor.log(
+                            "task_message_dead_lettered",
+                            message_id=message.id,
+                            attempts=message.attempts)
+                else:
+                    consumer.ack(message)
         finally:
             consumer.close()
 
@@ -175,11 +194,19 @@ class RaiWorker:
             job = Job.from_message(message.body)
         except (KeyError, TypeError, ValueError) as exc:
             # A malformed task message (version skew, junk injected onto
-            # the queue) must not crash the worker: drop it and move on.
-            self.system.monitor.incr("malformed_job_messages")
-            self.jobs_failed += 1
-            return
-            yield  # pragma: no cover - keeps this a generator
+            # the queue) must not crash the worker.  Returning False makes
+            # the executor requeue it toward the dead-letter path; count
+            # and log the parse error once, on first sight.
+            if message.attempts <= 1:
+                self.system.monitor.incr("malformed_job_messages")
+                self.jobs_failed += 1
+            self.system.monitor.log(
+                "malformed_job_message", message_id=message.id,
+                attempts=message.attempts,
+                error=f"{type(exc).__name__}: {exc}")
+            return False
+        deadline = (self.sim.now + self.config.job_deadline_seconds
+                    if self.config.job_deadline_seconds is not None else None)
         self.active_jobs += 1
         producer = Producer(self.system.broker, f"log_{job.id}")
         outputs: List[tuple] = []
@@ -210,16 +237,29 @@ class RaiWorker:
                 status = JobStatus.REJECTED
                 return
 
-            # Step 4 — fetch and unpack the project.
+            # Step 4 — fetch and unpack the project.  Transient storage
+            # errors are retried with backoff; permanent ones (NoSuchKey
+            # after lifecycle expiry etc.) reject immediately.
             try:
-                archive = self.system.storage.get_object(
-                    job.upload_bucket, job.upload_key)
-            except Exception as exc:  # NoSuchKey etc.
+                archive = yield from self._storage_call(
+                    "project fetch",
+                    lambda: self.system.storage.get_object(
+                        job.upload_bucket, job.upload_key),
+                    deadline, publish_log)
+            except TransientStorageError as exc:
+                publish_log("stderr",
+                            f"✗ cannot fetch project after retries: {exc}\n")
+                status = JobStatus.FAILED
+                self._record(job, status, exit_code, outputs, build_url,
+                             attempts=message.attempts)
+                return
+            except StorageError as exc:  # NoSuchKey etc.
                 publish_log("stderr", f"✗ cannot fetch project: {exc}\n")
                 status = JobStatus.REJECTED
                 return
             yield self.sim.timeout(
                 archive.size / self.config.storage_bandwidth_bps)
+            self._check_deadline(deadline)
             project_fs = VirtualFileSystem(clock=lambda: self.sim.now)
             unpack_tree(archive.data, project_fs, "/")
 
@@ -228,6 +268,7 @@ class RaiWorker:
             if pull_cost > 0:
                 publish_log("stdout", f"Pulling image {spec.image} ...\n")
                 yield self.sim.timeout(pull_cost)
+                self._check_deadline(deadline)
             container = self.runtime.create_container(
                 spec.image,
                 limits=self.config.limits,
@@ -250,6 +291,7 @@ class RaiWorker:
             try:
                 exit_code = 0
                 for command in spec.build_commands:
+                    self._check_deadline(deadline)
                     publish("command", command=command)
                     result = container.exec_line(command)
                     # sim_duration already includes contention dilation
@@ -275,30 +317,57 @@ class RaiWorker:
                     yield self.sim.timeout(
                         len(blob) / self.config.storage_bandwidth_bps)
                     key = f"{job.id}/build.tar.bz2"
-                    self.system.storage.put_object(
-                        self.system.config.build_bucket, key, blob,
-                        metadata={
-                            "job_id": job.id,
-                            "username": job.username,
-                            "team": job.team or "",
-                            "kind": job.kind.value,
-                        })
-                    build_url = self.system.storage.presign_get(
-                        self.system.config.build_bucket, key,
-                        expires_in=self.system.config.presign_expiry_seconds)
-                    publish("build", url=build_url, key=key,
-                            bucket=self.system.config.build_bucket,
-                            size=len(blob))
+                    try:
+                        yield from self._storage_call(
+                            "build upload",
+                            lambda: self.system.storage.put_object(
+                                self.system.config.build_bucket, key, blob,
+                                metadata={
+                                    "job_id": job.id,
+                                    "username": job.username,
+                                    "team": job.team or "",
+                                    "kind": job.kind.value,
+                                }),
+                            deadline, publish_log)
+                    except TransientStorageError as exc:
+                        # Degrade rather than fail the whole job: the build
+                        # ran; only its artifact is lost.
+                        publish_log(
+                            "stderr",
+                            f"⚠ build upload failed after retries: {exc}\n")
+                        self.system.monitor.incr("build_upload_failures")
+                    else:
+                        build_url = self.system.storage.presign_get(
+                            self.system.config.build_bucket, key,
+                            expires_in=self.system.config
+                            .presign_expiry_seconds)
+                        publish("build", url=build_url, key=key,
+                                bucket=self.system.config.build_bucket,
+                                size=len(blob))
             finally:
                 self.runtime.destroy_container(container)
 
             # Record the submission and, for finals, the ranking.
-            self._record(job, status, exit_code, outputs, build_url)
+            self._record(job, status, exit_code, outputs, build_url,
+                         attempts=message.attempts)
+        except JobDeadlineExceeded as exc:
+            # The paper's 1-hour cap, applied wall-clock: kill whatever is
+            # left (the container was destroyed on the way out) and report
+            # a terminal failure so the executor slot frees up.
+            publish_log("stderr", f"✗ {exc}\n")
+            status = JobStatus.FAILED
+            exit_code = 124
+            self.system.monitor.incr("jobs_deadline_exceeded")
+            self.system.monitor.log("job_deadline_exceeded", job_id=job.id,
+                                    worker=self.id)
+            self._record(job, status, exit_code, outputs, build_url,
+                         attempts=message.attempts)
         except Interrupt:
             if not self._crashed:
                 publish_log("stderr", "✗ worker shutting down mid-job\n")
                 status = JobStatus.FAILED
-                self._record(job, status, exit_code, outputs, build_url)
+                self._record(job, status, exit_code, outputs, build_url,
+                             attempts=message.attempts)
             raise
         finally:
             if status is JobStatus.SUCCEEDED:
@@ -313,6 +382,33 @@ class RaiWorker:
             self.active_jobs -= 1
 
     # -- helpers ------------------------------------------------------------
+
+    def _check_deadline(self, deadline) -> None:
+        if deadline is not None and self.sim.now >= deadline:
+            raise JobDeadlineExceeded(
+                f"job exceeded its "
+                f"{self.config.job_deadline_seconds:.0f}s deadline")
+
+    def _storage_call(self, label: str, fn, deadline, publish_log):
+        """Run a storage operation under the worker's retry policy.
+
+        Generator (``yield from`` it): backoff sleeps happen in simulated
+        time.  Only :class:`TransientStorageError` is retried; permanent
+        errors and the final transient failure propagate unaltered.
+        """
+        policy = self.config.storage_retry
+
+        def on_retry(attempt, exc):
+            self._check_deadline(deadline)
+            self.system.monitor.incr("storage_retries")
+            publish_log(
+                "stderr",
+                f"⚠ {label} failed ({exc}); "
+                f"retry {attempt}/{policy.max_attempts - 1}\n")
+
+        return (yield from policy.call(
+            self.sim, fn, rng=self._retry_rng,
+            retry_on=(TransientStorageError,), on_retry=on_retry))
 
     def _verify(self, job: Job):
         credential = self.system.keystore.lookup(job.access_key)
@@ -333,7 +429,19 @@ class RaiWorker:
         return base + contention
 
     def _record(self, job: Job, status: JobStatus, exit_code,
-                outputs: List[tuple], build_url) -> None:
+                outputs: List[tuple], build_url, attempts: int = 1) -> None:
+        # At-least-once delivery means a job can be processed twice (e.g.
+        # a premature stale-sweep redelivered it while the original worker
+        # was still alive).  Recording is made effectively-once: whichever
+        # delivery records first wins; later ones are suppressed so the
+        # submissions collection and the ranking never double-count.
+        submissions = self.system.db.collection("submissions")
+        if submissions.find_one({"job_id": job.id}) is not None:
+            self.system.monitor.incr("duplicate_records_suppressed")
+            self.system.monitor.log("duplicate_record_suppressed",
+                                    job_id=job.id, worker=self.id,
+                                    attempts=attempts)
+            return
         stdout = "".join(t for s, t in outputs if s == "stdout")
         stderr = "".join(t for s, t in outputs if s == "stderr")
         elapsed = _ELAPSED_RE.findall(stdout)
@@ -342,8 +450,9 @@ class RaiWorker:
         internal_time = float(elapsed[-1]) if elapsed else None
         instructor_time = float(time_match.group(1)) if time_match else None
 
-        self.system.db.collection("submissions").insert_one({
+        submissions.insert_one({
             "job_id": job.id,
+            "attempts": attempts,
             "kind": job.kind.value,
             "username": job.username,
             "team": job.team,

@@ -130,6 +130,15 @@ class ExpiredToken(StorageError):
     """A presigned URL was used after its expiry time."""
 
 
+class TransientStorageError(StorageError):
+    """A retryable storage failure (flaky link, 5xx, injected chaos).
+
+    Unlike :class:`NoSuchKey` and friends — which are permanent and must
+    not be retried — callers are expected to retry these under a
+    :class:`~repro.faults.RetryPolicy`.
+    """
+
+
 # --------------------------------------------------------------------------
 # Document database
 # --------------------------------------------------------------------------
@@ -263,6 +272,11 @@ class SubmissionRejected(RaiError):
 
 class JobFailed(RaiError):
     pass
+
+
+class JobDeadlineExceeded(RaiError):
+    """A job overran its wall-clock deadline (the paper's 1-hour cap
+    applied to the whole job, not just charged container time)."""
 
 
 # --------------------------------------------------------------------------

@@ -1,0 +1,37 @@
+"""Deterministic chaos: fault injection and recovery primitives.
+
+§V's robustness claim — "these operations need to happen in order and be
+robust to failures" — is only credible if the failure paths are actually
+driven.  This package provides:
+
+- :class:`FaultPlan` + fault dataclasses — a declarative description of
+  what goes wrong and when (worker crashes, transient storage errors,
+  broker delay/drop, container kills);
+- :class:`FaultInjector` — turns a plan into kernel processes and hooks,
+  all seeded from named ``system.rng.stream("faults:...")`` streams so
+  chaos runs replay exactly;
+- :class:`RetryPolicy` — the reusable exponential-backoff budget the
+  worker applies to storage fetch/upload.
+"""
+
+from repro.faults.plan import (
+    ALWAYS,
+    BrokerFault,
+    ContainerKillFault,
+    FaultPlan,
+    StorageFault,
+    WorkerCrashFault,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.retry import RetryPolicy
+
+__all__ = [
+    "ALWAYS",
+    "BrokerFault",
+    "ContainerKillFault",
+    "FaultPlan",
+    "FaultInjector",
+    "RetryPolicy",
+    "StorageFault",
+    "WorkerCrashFault",
+]

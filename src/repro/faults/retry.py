@@ -1,0 +1,66 @@
+"""Reusable retry policy: exponential backoff + jitter + attempt budget.
+
+The policy itself is pure arithmetic; the waiting happens in the caller's
+simulation process via the :meth:`RetryPolicy.call` generator::
+
+    result = yield from policy.call(
+        sim, lambda: storage.get_object(bucket, key),
+        rng=rng, retry_on=(TransientStorageError,))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter and a bounded attempt budget."""
+
+    #: Total tries, including the first (1 = no retries).
+    max_attempts: int = 4
+    base_delay: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+    #: Fractional jitter: each delay is scaled by ``1 + jitter * U(0, 1)``
+    #: (drawn from the caller's deterministic stream when provided).
+    jitter: float = 0.25
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+    def backoff(self, attempt: int, rng=None) -> float:
+        """Delay before retry number ``attempt`` (1-based failed attempt)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        delay = min(self.base_delay * self.multiplier ** (attempt - 1),
+                    self.max_delay)
+        if rng is not None and self.jitter > 0:
+            delay *= 1.0 + self.jitter * float(rng.random())
+        return delay
+
+    def call(self, sim, fn, rng=None, retry_on=(Exception,), on_retry=None):
+        """Generator running ``fn`` under this policy.
+
+        Yields backoff timeouts between attempts; returns ``fn()``'s value.
+        The final failure re-raises unaltered.  ``on_retry(attempt, exc)``
+        (if given) is invoked before each backoff sleep.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn()
+            except retry_on as exc:
+                if attempt >= self.max_attempts:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                yield sim.timeout(self.backoff(attempt, rng))

@@ -145,6 +145,8 @@ class Monitor:
         self.series: Dict[str, TimeSeries] = {}
         self.tallies: Dict[str, Tally] = {}
         self.counters = Counter()
+        #: Structured event log: (time, kind, fields) per :meth:`log` call.
+        self.events: List[Tuple[float, str, dict]] = []
 
     def timeseries(self, name: str) -> TimeSeries:
         ts = self.series.get(name)
@@ -167,3 +169,13 @@ class Monitor:
 
     def incr(self, name: str, amount: float = 1) -> None:
         self.counters.incr(name, amount)
+
+    def log(self, __event_kind: str, **fields) -> None:
+        """Append a timestamped structured event (fault injections,
+        malformed messages, dead-letterings — anything an operator would
+        want in an audit trail).  The first argument is positional-only
+        so ``fields`` may itself contain a ``kind`` key."""
+        self.events.append((self.sim.now, __event_kind, fields))
+
+    def events_of(self, kind: str) -> List[Tuple[float, dict]]:
+        return [(t, fields) for t, k, fields in self.events if k == kind]

@@ -52,6 +52,10 @@ class ObjectStore:
         self.counters = Counter()
         self._signer = PresignSigner(secret, clock=lambda: self.sim.now)
         self._uploads: Dict[str, MultipartUpload] = {}
+        #: Chaos hook: ``fault_hook(op, bucket, key)`` runs before every
+        #: get/put and may raise (e.g. TransientStorageError).  Installed
+        #: by :class:`repro.faults.FaultInjector`; None in normal runs.
+        self.fault_hook = None
 
     # -- buckets ------------------------------------------------------------
 
@@ -77,6 +81,8 @@ class ObjectStore:
                    if_none_match: bool = False,
                    padding_bytes: int = 0) -> StoredObject:
         """Store an object; ``if_none_match`` makes the put create-only."""
+        if self.fault_hook is not None:
+            self.fault_hook("put", bucket_name, key)
         bucket = self.bucket(bucket_name)
         if if_none_match and key in bucket.objects:
             raise PreconditionFailed(f"{bucket_name}/{key} already exists")
@@ -88,6 +94,8 @@ class ObjectStore:
         return obj
 
     def get_object(self, bucket_name: str, key: str) -> StoredObject:
+        if self.fault_hook is not None:
+            self.fault_hook("get", bucket_name, key)
         bucket = self.bucket(bucket_name)
         try:
             obj = bucket.objects[key]

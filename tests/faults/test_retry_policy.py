@@ -1,0 +1,126 @@
+"""Unit tests for the RetryPolicy backoff/budget arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NoSuchKey, TransientStorageError
+from repro.faults import RetryPolicy
+from repro.sim.kernel import Simulator
+
+
+class TestBackoff:
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(max_attempts=10, base_delay=1.0,
+                             multiplier=2.0, max_delay=8.0, jitter=0.0)
+        assert [policy.backoff(a) for a in range(1, 6)] == \
+            [1.0, 2.0, 4.0, 8.0, 8.0]
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.5)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            delay = policy.backoff(1, rng)
+            assert 1.0 <= delay <= 1.5
+
+    def test_jitter_deterministic_per_stream(self):
+        policy = RetryPolicy(jitter=0.5)
+        a = [policy.backoff(i, np.random.default_rng(7)) for i in (1, 2, 3)]
+        b = [policy.backoff(i, np.random.default_rng(7)) for i in (1, 2, 3)]
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy.backoff(RetryPolicy(), 0)
+
+
+class TestCall:
+    def _run(self, sim, gen):
+        proc = sim.process(gen)
+        sim.run(until=proc)
+        return proc.value
+
+    def test_succeeds_after_transient_failures(self):
+        sim = Simulator()
+        policy = RetryPolicy(max_attempts=4, base_delay=2.0,
+                             multiplier=2.0, jitter=0.0)
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientStorageError("blip")
+            return "payload"
+
+        def proc():
+            value = yield from policy.call(
+                sim, flaky, retry_on=(TransientStorageError,))
+            return value
+
+        assert self._run(sim, proc()) == "payload"
+        assert calls["n"] == 3
+        # Two backoff sleeps: 2.0 + 4.0 simulated seconds.
+        assert sim.now == pytest.approx(6.0)
+
+    def test_budget_exhaustion_reraises(self):
+        sim = Simulator()
+        policy = RetryPolicy(max_attempts=3, base_delay=0.1, jitter=0.0)
+        calls = {"n": 0}
+
+        def always_fails():
+            calls["n"] += 1
+            raise TransientStorageError("down")
+
+        def proc():
+            yield from policy.call(sim, always_fails,
+                                   retry_on=(TransientStorageError,))
+
+        with pytest.raises(TransientStorageError):
+            self._run(sim, proc())
+        assert calls["n"] == 3
+
+    def test_non_retryable_error_propagates_immediately(self):
+        sim = Simulator()
+        policy = RetryPolicy(max_attempts=5)
+        calls = {"n": 0}
+
+        def permanent():
+            calls["n"] += 1
+            raise NoSuchKey("gone forever")
+
+        def proc():
+            yield from policy.call(sim, permanent,
+                                   retry_on=(TransientStorageError,))
+
+        with pytest.raises(NoSuchKey):
+            self._run(sim, proc())
+        assert calls["n"] == 1
+        assert sim.now == 0.0
+
+    def test_on_retry_callback_sees_each_failure(self):
+        sim = Simulator()
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        seen = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientStorageError(f"blip {calls['n']}")
+            return "ok"
+
+        def proc():
+            return (yield from policy.call(
+                sim, flaky, retry_on=(TransientStorageError,),
+                on_retry=lambda attempt, exc: seen.append(
+                    (attempt, str(exc)))))
+
+        assert self._run(sim, proc()) == "ok"
+        assert seen == [(1, "blip 1"), (2, "blip 2")]
