@@ -1,0 +1,72 @@
+"""Hot-path performance — dedup uploads, indexed probes, encode-once.
+
+Not a paper figure: this bench records the *reproduction's own* perf
+trajectory so later PRs have a baseline to regress against.  It drives
+an N-students × M-resubmissions course (the paper's dominant load shape,
+§V/Figure 4) at several scales, prints the headline numbers, asserts the
+hot-path acceptance floors, and writes ``BENCH_hotpath.json`` at the
+repository root.
+
+Run: ``pytest benchmarks/bench_hotpath.py -s``
+"""
+
+import json
+import os
+
+from benchmarks.conftest import print_banner
+from repro.workload.hotpath import DEFAULT_SCALES, run_hotpath
+
+_OUT_PATH = os.path.join(os.path.dirname(os.path.dirname(__file__)),
+                         "BENCH_hotpath.json")
+
+
+def test_hotpath_trajectory(benchmark):
+    def run_all_scales():
+        return [run_hotpath(scale) for scale in DEFAULT_SCALES]
+
+    results = benchmark.pedantic(run_all_scales, rounds=1, iterations=1)
+
+    print_banner("Submission hot path — dedup / planner / encode-once")
+    print(f"{'scale':<10}{'subs':>6}{'p50 s':>9}{'p95 s':>9}"
+          f"{'resub reduction':>17}{'dedup ratio':>13}{'wall s':>8}")
+    for m in results:
+        up = m["upload"]
+        print(f"{m['scale']['name']:<10}"
+              f"{m['submissions_completed']:>6}"
+              f"{m['latency_s']['p50']:>9.2f}"
+              f"{m['latency_s']['p95']:>9.2f}"
+              f"{up['resubmissions']['reduction']:>16.1f}x"
+              f"{up['dedup_ratio']:>12.1f}x"
+              f"{m['wall_clock_s']:>8.2f}")
+
+    largest = results[-1]
+    print(f"\nlargest scale docdb probe: "
+          f"{largest['docdb']['job_id_probe']}")
+    print(f"planner totals: {largest['docdb']['planner']}")
+    print(f"worker fetch bytes saved: "
+          f"{largest['worker_fetch']['bytes_saved']}")
+
+    # --- acceptance floors (ISSUE 2) -------------------------------------
+    # Resubmission wire bytes at the largest scale: >= 5x cheaper than a
+    # full re-upload.
+    assert largest["upload"]["resubmissions"]["reduction"] >= 5.0
+    # The per-job dedup probe is O(1): served by the submissions.job_id
+    # index and examining exactly the matching document, not the
+    # collection.
+    probe = largest["docdb"]["job_id_probe"]
+    assert probe["path"] == "index" and probe["index"] == "job_id"
+    assert probe["docs_examined"] == 1
+    assert probe["docs_total"] > probe["docs_examined"]
+    # The submission pipeline itself never falls back to a collection
+    # scan.
+    assert largest["docdb"]["planner"]["scans"] == 0
+
+    payload = {
+        "bench": "hotpath",
+        "source": "benchmarks/bench_hotpath.py",
+        "scales": results,
+    }
+    with open(_OUT_PATH, "w") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    print(f"\nwrote {_OUT_PATH}")

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-import json
 from typing import Dict, Optional
 
+from repro.broker import message as _message
 from repro.broker.message import Message
 from repro.broker.routes import Route, parse_route, validate_name
 from repro.broker.topic import Channel, Topic
@@ -81,15 +81,24 @@ class MessageBroker:
     # -- data plane ------------------------------------------------------------
 
     def publish(self, topic_name: str, body) -> Message:
-        """Publish a JSON-serialisable body; returns the stored message."""
+        """Publish a JSON-serialisable body; returns the stored message.
+
+        The body is encoded exactly once, here: the size check, the byte
+        accounting, ``Message.encoded_size()``, and every channel fan-out
+        copy all reuse the same cached payload bytes.
+        """
         try:
-            size = len(json.dumps(body).encode("utf-8"))
+            # Late-bound module lookup so a monkeypatched encoder sees
+            # every call site (the Message lazy path uses the same name).
+            payload = _message.encode_body(body)
         except (TypeError, ValueError) as exc:
             raise TypeError(f"message body is not JSON-serialisable: {exc}") from exc
+        size = len(payload)
         if size > self.max_message_bytes:
             raise MessageTooLarge(
                 f"{size} bytes exceeds limit of {self.max_message_bytes}")
-        msg = Message(topic_name, body, timestamp=self.sim.now)
+        msg = Message(topic_name, body, timestamp=self.sim.now,
+                      payload=payload)
         self.topic(topic_name).publish(msg)
         self.counters.incr("messages_published")
         self.total_bytes_published += size

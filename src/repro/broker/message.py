@@ -20,6 +20,18 @@ def reset_message_ids() -> None:
     _id_counter = itertools.count(1)
 
 
+def encode_body(body: Any) -> bytes:
+    """The broker's single wire encoding of a message body.
+
+    Every serialisation of a body funnels through here — the broker
+    encodes once at publish time and the resulting bytes are cached on
+    the :class:`Message` and shared by its channel fan-out copies, so
+    size checks and stats never re-serialise.  (Tests monkeypatch this
+    to count encodes.)
+    """
+    return json.dumps(body).encode("utf-8")
+
+
 class Message:
     """A broker message.
 
@@ -30,10 +42,11 @@ class Message:
     """
 
     __slots__ = ("id", "topic", "body", "timestamp", "attempts",
-                 "delivered_at", "_channel")
+                 "delivered_at", "_channel", "_payload")
 
     def __init__(self, topic: str, body: Any, timestamp: float,
-                 message_id: Optional[str] = None):
+                 message_id: Optional[str] = None,
+                 payload: Optional[bytes] = None):
         self.id = message_id or new_message_id()
         self.topic = topic
         self.body = body
@@ -42,14 +55,29 @@ class Message:
         #: Simulated time of the most recent delivery (None before first).
         self.delivered_at: Optional[float] = None
         self._channel = None  # set on delivery; used by ack/requeue
+        #: Cached wire encoding — set once by the broker at publish time
+        #: (or lazily on first use) and shared by fan-out copies.
+        self._payload = payload
+
+    @property
+    def payload(self) -> bytes:
+        """The body's wire bytes, encoded at most once per publish."""
+        if self._payload is None:
+            self._payload = encode_body(self.body)
+        return self._payload
 
     def encoded_size(self) -> int:
         """Size of the JSON encoding in bytes (for size limits and stats)."""
-        return len(json.dumps(self.body).encode("utf-8"))
+        return len(self.payload)
 
     def copy_for_channel(self) -> "Message":
-        """Per-channel copy (topics fan out; channels own delivery state)."""
-        clone = Message(self.topic, self.body, self.timestamp, self.id)
+        """Per-channel copy (topics fan out; channels own delivery state).
+
+        Copies share the publisher's encoded payload bytes — fan-out to N
+        channels costs zero additional serialisations.
+        """
+        clone = Message(self.topic, self.body, self.timestamp, self.id,
+                        payload=self._payload)
         return clone
 
     def __repr__(self):

@@ -33,6 +33,7 @@ from repro.errors import (
     StorageError,
     SubmissionRejected,
 )
+from repro.storage.chunkstore import Manifest
 from repro.vfs import VirtualFileSystem, pack_tree
 
 #: Files a final submission must contain (§V, Student Final Submission):
@@ -59,6 +60,9 @@ class RaiClient:
         #: project would carry); counted in upload time and storage
         #: accounting without materialising content.  See StoredObject.
         self.project_padding_bytes: int = 0
+        #: Manifest of the most recent successful upload — the base the
+        #: next submission's chunk delta is computed against.
+        self._last_manifest: Optional[Manifest] = None
 
     @property
     def username(self) -> str:
@@ -139,24 +143,55 @@ class RaiClient:
         except RateLimited as exc:
             return reject(exc)
 
-        # Step 3 — compress and upload the project.
-        archive = pack_tree(self.project_fs, "/")
-        upload_bytes = len(archive) + self.project_padding_bytes
+        # Step 3 — pack and upload the project.  With dedup enabled the
+        # archive is a plain tar chunked by content: the client computes
+        # the delta against its previously uploaded manifest (plus a
+        # store-side negotiation for chunks other uploads already hold)
+        # and transfers only unseen chunks and the manifest itself.
+        dedup = self.system.config.dedup_uploads
+        if dedup:
+            archive = pack_tree(self.project_fs, "/", compression="none")
+            manifest = Manifest.from_bytes(
+                archive, self.system.storage.chunk_store.chunk_size)
+            # Chunks the local delta says changed since the last upload;
+            # the store negotiation then prunes those some *other* upload
+            # already holds (and re-adds any the server has since
+            # expired) — the negotiation is ground truth for the wire.
+            delta = manifest.delta(self._last_manifest)
+            self.system.monitor.incr("client_delta_chunks", len(delta))
+            wire_bytes = (
+                self.system.storage.chunk_store.missing_bytes(manifest)
+                + manifest.wire_size())
+        else:
+            archive = pack_tree(self.project_fs, "/")
+            manifest = None
+            wire_bytes = len(archive)
+        full_bytes = len(archive) + self.project_padding_bytes
+        upload_bytes = wire_bytes + self.project_padding_bytes
         upload_seconds = upload_bytes / self.system.config.client_bandwidth_bps
         yield self.sim.timeout(upload_seconds)
         job_id = new_job_id()
         result.job_id = job_id
-        upload_key = f"{self.username}/{job_id}.tar.bz2"
+        suffix = "tar" if dedup else "tar.bz2"
+        upload_key = f"{self.username}/{job_id}.{suffix}"
         try:
             self.system.storage.put_object(
                 self.system.config.upload_bucket, upload_key, archive,
                 metadata={"username": self.username, "team": self.team or "",
                           "kind": kind.value, "job_id": job_id},
-                padding_bytes=self.project_padding_bytes)
+                padding_bytes=self.project_padding_bytes, dedup=dedup)
         except StorageError as exc:
             self.system.monitor.incr("client_upload_failures")
             return reject(SubmissionRejected(f"project upload failed: {exc}"))
+        if dedup:
+            self._last_manifest = manifest
+        result.upload_bytes = upload_bytes
+        result.upload_bytes_full = full_bytes
         self.system.monitor.incr("bytes_uploaded", upload_bytes)
+        self.system.monitor.incr("bytes_uploaded_logical", full_bytes)
+        if full_bytes > upload_bytes:
+            self.system.monitor.incr("bytes_upload_deduped",
+                                     full_bytes - upload_bytes)
 
         # Step 4 — create and sign the job request.
         job = Job(

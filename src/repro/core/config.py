@@ -46,10 +46,18 @@ class WorkerConfig:
     job_deadline_seconds: Optional[float] = 3600.0
     #: Retry budget for storage fetch/upload (transient errors only).
     storage_retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Budget of the manifest-aware project-fetch cache (bytes of cached
+    #: content the worker can skip re-transferring).  Repeat fetches of
+    #: identical or near-identical archives — resubmission storms, job
+    #: redelivery — only move the chunks the worker has not seen.  0
+    #: disables the cache.
+    fetch_cache_bytes: int = 1 << 30
 
     def __post_init__(self):
         if self.max_concurrent_jobs < 1:
             raise ValueError("max_concurrent_jobs must be >= 1")
+        if self.fetch_cache_bytes < 0:
+            raise ValueError("fetch_cache_bytes must be >= 0")
         if self.job_deadline_seconds is not None \
                 and self.job_deadline_seconds <= 0:
             raise ValueError("job_deadline_seconds must be positive")
@@ -78,3 +86,10 @@ class SystemConfig:
     client_wait_timeout_seconds: Optional[float] = None
     #: Sweep interval of the system dead-letter consumer (opt-in process).
     dead_letter_sweep_seconds: float = 300.0
+    #: Content-addressed dedup of project uploads (git-style: the client
+    #: chunks the archive, negotiates against its previous manifest, and
+    #: transfers only unseen chunks).  Disable to reproduce the seed's
+    #: full re-upload per submission.
+    dedup_uploads: bool = True
+    #: Fixed chunk size of the content-addressed store.
+    chunk_size_bytes: int = 4096

@@ -114,6 +114,11 @@ class JobResult:
     worker_id: Optional[str] = None
     #: Team's leaderboard rank after a successful final submission.
     rank: Optional[int] = None
+    #: Bytes this submission actually put on the wire (chunk delta +
+    #: manifest under dedup; the full archive otherwise).
+    upload_bytes: Optional[int] = None
+    #: Bytes a full re-upload would have cost (archive + padding).
+    upload_bytes_full: Optional[int] = None
 
     @property
     def succeeded(self) -> bool:

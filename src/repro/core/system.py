@@ -56,8 +56,13 @@ class RaiSystem:
         self.monitor = SystemMonitor(self.sim)
 
         self.broker = MessageBroker(self.sim)
-        self.storage = ObjectStore(self.sim)
+        self.storage = ObjectStore(self.sim,
+                                   chunk_size=self.config.chunk_size_bytes)
         self.db = DocumentDB(self.sim)
+        # The per-job dedup probe (worker._record, dead-letter drain) runs
+        # once per submission; an index keeps it O(1) instead of a scan
+        # over every submission the course has ever recorded.
+        self.db.collection("submissions").create_index("job_id")
         self.registry = registry if registry is not None else default_registry()
         self.keystore = KeyStore(rng=self.rng.stream("keystore"))
         self.rate_limiter = RateLimiter(

@@ -20,6 +20,7 @@ scales with the number of co-running jobs.
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from typing import List, Optional
 
 from repro.broker.client import Consumer, Producer
@@ -71,6 +72,13 @@ class RaiWorker:
         self._retry_rng = system.rng.stream(f"worker:{self.id}:retry")
         self._stopped = False
         self._crashed = False
+        # Manifest-aware fetch cache: content digests (chunk hashes, or
+        # whole-object etags for non-chunked objects) this worker already
+        # transferred, LRU-bounded by fetch_cache_bytes.  A repeat fetch
+        # of identical content is near-free; a resubmission with small
+        # edits transfers only its changed chunks.
+        self._fetch_cache: "OrderedDict[str, int]" = OrderedDict()
+        self._fetch_cache_bytes = 0
         self.active_jobs = 0
         self.jobs_completed = 0
         self.jobs_failed = 0
@@ -258,7 +266,8 @@ class RaiWorker:
                 status = JobStatus.REJECTED
                 return
             yield self.sim.timeout(
-                archive.size / self.config.storage_bandwidth_bps)
+                self._fetch_transfer_bytes(archive)
+                / self.config.storage_bandwidth_bps)
             self._check_deadline(deadline)
             project_fs = VirtualFileSystem(clock=lambda: self.sim.now)
             unpack_tree(archive.data, project_fs, "/")
@@ -382,6 +391,41 @@ class RaiWorker:
             self.active_jobs -= 1
 
     # -- helpers ------------------------------------------------------------
+
+    def _fetch_transfer_bytes(self, obj) -> int:
+        """Bytes a project fetch moves, given the worker's content cache.
+
+        Chunked objects are accounted per chunk digest (plus a padding
+        pseudo-entry keyed on the object's etag); plain objects by their
+        whole-object etag.  Every ref touched is promoted/inserted into
+        the LRU, then the cache is trimmed to its byte budget.
+        """
+        manifest = getattr(obj, "manifest", None)
+        if manifest is not None:
+            refs = [(c.digest, c.size) for c in manifest.chunks]
+            if obj.padding_bytes:
+                refs.append((f"{obj.etag}:padding", obj.padding_bytes))
+        else:
+            refs = [(obj.etag, obj.size)]
+        budget = self.config.fetch_cache_bytes
+        transferred = 0
+        saved = 0
+        for digest, size in refs:
+            if budget and digest in self._fetch_cache:
+                self._fetch_cache.move_to_end(digest)
+                saved += size
+                continue
+            transferred += size
+            if budget:
+                self._fetch_cache[digest] = size
+                self._fetch_cache_bytes += size
+        while self._fetch_cache_bytes > budget:
+            _, evicted = self._fetch_cache.popitem(last=False)
+            self._fetch_cache_bytes -= evicted
+        self.system.monitor.incr("worker_fetch_bytes", transferred)
+        if saved:
+            self.system.monitor.incr("worker_fetch_bytes_saved", saved)
+        return transferred
 
     def _check_deadline(self, deadline) -> None:
         if deadline is not None and self.sim.now >= deadline:

@@ -8,7 +8,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.docdb.aggregate import run_pipeline
 from repro.docdb.cursor import Cursor
-from repro.docdb.index import Index
+from repro.docdb.index import Index, RANGE_OPS, SortedIndex
 from repro.docdb.query import match_document, get_path, _MISSING
 from repro.docdb.update import apply_update
 from repro.errors import DocDbError, DuplicateKeyError
@@ -23,13 +23,28 @@ class Collection:
         self._docs: Dict[Any, dict] = {}
         self._indexes: Dict[str, Index] = {}
         self._id_counter = itertools.count(1)
+        #: Access-path plan of the most recent find/update/delete/count —
+        #: the write-path equivalent of ``Cursor.explain()``.
+        self.last_plan: Optional[dict] = None
+        #: Cumulative planner activity (index hits vs scans, docs examined).
+        self.planner_stats = {"index_hits": 0, "range_hits": 0,
+                              "scans": 0, "docs_examined": 0}
 
     # -- indexes ------------------------------------------------------------
 
-    def create_index(self, field: str, unique: bool = False) -> Index:
-        if field in self._indexes:
-            return self._indexes[field]
-        index = Index(field, unique=unique)
+    def create_index(self, field: str, unique: bool = False,
+                     ordered: bool = False) -> Index:
+        """Create (or fetch) an index on ``field``.
+
+        ``ordered=True`` builds a :class:`SortedIndex`, which also serves
+        ``$gt/$gte/$lt/$lte`` range predicates; an existing hash index on
+        the same field is upgraded in place.
+        """
+        existing = self._indexes.get(field)
+        if existing is not None and (not ordered or existing.supports_range):
+            return existing
+        index = SortedIndex(field, unique=unique) if ordered \
+            else Index(field, unique=unique)
         for doc_id, doc in self._docs.items():
             index.add(doc_id, doc)
         self._indexes[field] = index
@@ -79,8 +94,9 @@ class Collection:
 
     def _update(self, filter: dict, update: dict, upsert: bool,
                 many: bool) -> int:
-        matched_ids = [doc_id for doc_id, doc in self._docs.items()
-                       if match_document(doc, filter)]
+        candidate_ids, _ = self._candidates(filter)
+        matched_ids = [doc_id for doc_id in candidate_ids
+                       if match_document(self._docs[doc_id], filter)]
         if not matched_ids:
             if upsert:
                 seed = {k: v for k, v in filter.items()
@@ -119,8 +135,9 @@ class Collection:
         return self._delete(filter, many=True)
 
     def _delete(self, filter: dict, many: bool) -> int:
-        doomed = [doc_id for doc_id, doc in self._docs.items()
-                  if match_document(doc, filter)]
+        candidate_ids, _ = self._candidates(filter)
+        doomed = [doc_id for doc_id in candidate_ids
+                  if match_document(self._docs[doc_id], filter)]
         if not many:
             doomed = doomed[:1]
         for doc_id in doomed:
@@ -131,23 +148,70 @@ class Collection:
     # -- reads ------------------------------------------------------------
 
     def _candidates(self, filter: dict):
-        """Use an index fast path for top-level equality when possible."""
+        """Plan the access path for ``filter``.
+
+        Returns ``(candidate_ids, plan)``.  The planner tries, in order:
+        an equality fast path on an indexed top-level field, a range
+        (``$gt/$gte/$lt/$lte``) fast path on a sorted-indexed field, then
+        the full collection scan.  Candidates preserve insertion order on
+        the equality and scan paths; range candidates come back in key
+        order.  All four CRUD verbs route through here, so the fast paths
+        cover updates and deletes, not just ``find``.
+        """
+        ids, plan = self._plan(filter)
+        plan["docs_examined"] = len(ids)
+        plan["docs_total"] = len(self._docs)
+        if plan["path"] == "scan":
+            self.planner_stats["scans"] += 1
+        elif plan["index_kind"] == "range":
+            self.planner_stats["range_hits"] += 1
+        else:
+            self.planner_stats["index_hits"] += 1
+        self.planner_stats["docs_examined"] += len(ids)
+        self.last_plan = plan
+        return ids, plan
+
+    def _plan(self, filter: dict):
+        range_choice = None
         for field, condition in filter.items():
-            if field.startswith("$") or isinstance(condition, dict):
+            if field.startswith("$"):
                 continue
             index = self._indexes.get(field)
-            if index is not None and not isinstance(condition, (list, dict)):
-                ids = index.lookup(condition)
-                return [self._docs[i] for i in sorted(ids, key=str)
-                        if i in self._docs]
-        return list(self._docs.values())
+            if index is None:
+                continue
+            if not isinstance(condition, (list, dict)):
+                ids = [i for i in index.lookup(condition) if i in self._docs]
+                return ids, {"collection": self.name, "path": "index",
+                             "index": field, "index_kind": "equality"}
+            if range_choice is None and index.supports_range \
+                    and isinstance(condition, dict):
+                ops = {op: operand for op, operand in condition.items()
+                       if op in RANGE_OPS}
+                if ops:
+                    range_choice = (field, index, ops)
+        if range_choice is not None:
+            field, index, ops = range_choice
+            ids = index.range_ids(ops)
+            if ids is not None:
+                ids = [i for i in ids if i in self._docs]
+                return ids, {"collection": self.name, "path": "index",
+                             "index": field, "index_kind": "range"}
+        return list(self._docs), {"collection": self.name, "path": "scan",
+                                  "index": None, "index_kind": None}
+
+    def explain(self, filter: Optional[dict] = None) -> dict:
+        """Plan a filter without executing it (planner introspection)."""
+        _, plan = self._candidates(filter or {})
+        return plan
 
     def find(self, filter: Optional[dict] = None,
              projection: Optional[dict] = None) -> Cursor:
         filter = filter or {}
-        matched = [doc for doc in self._candidates(filter)
-                   if match_document(doc, filter)]
-        return Cursor(matched, projection=projection)
+        candidate_ids, plan = self._candidates(filter)
+        matched = [self._docs[i] for i in candidate_ids
+                   if match_document(self._docs[i], filter)]
+        plan = dict(plan, docs_matched=len(matched))
+        return Cursor(matched, projection=projection, plan=plan)
 
     def find_one(self, filter: Optional[dict] = None,
                  projection: Optional[dict] = None) -> Optional[dict]:
@@ -157,8 +221,9 @@ class Collection:
         filter = filter or {}
         if not filter:
             return len(self._docs)
-        return sum(1 for doc in self._candidates(filter)
-                   if match_document(doc, filter))
+        candidate_ids, _ = self._candidates(filter)
+        return sum(1 for i in candidate_ids
+                   if match_document(self._docs[i], filter))
 
     def distinct(self, field: str, filter: Optional[dict] = None) -> List[Any]:
         seen = []
@@ -215,9 +280,19 @@ class DocumentDB:
         return sum(c.estimated_size_bytes()
                    for c in self._collections.values())
 
+    def planner_stats(self) -> dict:
+        """Aggregated access-path counters across every collection."""
+        totals = {"index_hits": 0, "range_hits": 0, "scans": 0,
+                  "docs_examined": 0}
+        for coll in self._collections.values():
+            for key, value in coll.planner_stats.items():
+                totals[key] += value
+        return totals
+
     def stats(self) -> dict:
         return {
             "collections": {n: len(c) for n, c in self._collections.items()},
             "total_documents": self.total_documents(),
             "estimated_bytes": self.estimated_size_bytes(),
+            "planner": self.planner_stats(),
         }

@@ -1,13 +1,21 @@
 """Secondary and unique indexes.
 
-Indexes map a field's value to the set of document ids holding it, giving
-equality lookups an O(1) fast path and letting unique constraints (e.g. one
-ranking row per team) be enforced at insert/update time.
+Indexes map a field's value to the documents holding it, giving equality
+lookups an O(1) fast path and letting unique constraints (e.g. one
+ranking row per team) be enforced at insert/update time.  Each entry
+keeps its document ids in insertion order, so index-served reads return
+documents in the same order a collection scan would — no ``doc-10`` /
+``doc-2`` string-sort interleaving.
+
+:class:`SortedIndex` additionally maintains its keys in sorted order so
+the query planner can serve ``$gt/$gte/$lt/$lte`` range predicates from
+a bisect over the key list instead of a full collection scan.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Set
+from bisect import bisect_left, bisect_right, insort
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.docdb.query import get_path, _MISSING
 from repro.errors import DuplicateKeyError
@@ -24,24 +32,31 @@ def _index_key(value: Any):
 
 
 class Index:
-    """An index over one dotted field path."""
+    """An index over one dotted field path (hash / equality index)."""
+
+    kind = "hash"
+    supports_range = False
 
     def __init__(self, field: str, unique: bool = False):
         self.field = field
         self.unique = unique
-        self._entries: Dict[Any, Set[Any]] = {}
+        # key -> ordered set of doc ids (dict preserves insertion order).
+        self._entries: Dict[Any, Dict[Any, None]] = {}
 
     def add(self, doc_id: Any, doc: dict) -> None:
         value = get_path(doc, self.field)
         if value is _MISSING:
             return
         key = _index_key(value)
-        holders = self._entries.setdefault(key, set())
+        holders = self._entries.get(key)
+        if holders is None:
+            holders = self._entries[key] = {}
+            self._key_added(key)
         if self.unique and holders and doc_id not in holders:
             raise DuplicateKeyError(
                 f"duplicate value {value!r} for unique index on "
                 f"{self.field!r}")
-        holders.add(doc_id)
+        holders[doc_id] = None
 
     def remove(self, doc_id: Any, doc: dict) -> None:
         value = get_path(doc, self.field)
@@ -50,13 +65,14 @@ class Index:
         key = _index_key(value)
         holders = self._entries.get(key)
         if holders is not None:
-            holders.discard(doc_id)
+            holders.pop(doc_id, None)
             if not holders:
                 del self._entries[key]
+                self._key_removed(key)
 
-    def lookup(self, value: Any) -> Optional[Set[Any]]:
-        """Document ids with exactly this value, or None if unindexed."""
-        return self._entries.get(_index_key(value), set())
+    def lookup(self, value: Any) -> List[Any]:
+        """Document ids with exactly this value, in insertion order."""
+        return list(self._entries.get(_index_key(value), ()))
 
     def check_would_conflict(self, doc_id: Any, doc: dict) -> None:
         """Raise if adding ``doc`` would break uniqueness (pre-flight)."""
@@ -65,11 +81,98 @@ class Index:
         value = get_path(doc, self.field)
         if value is _MISSING:
             return
-        holders = self._entries.get(_index_key(value), set())
-        if holders - {doc_id}:
+        holders = self._entries.get(_index_key(value), {})
+        if set(holders) - {doc_id}:
             raise DuplicateKeyError(
                 f"duplicate value {value!r} for unique index on "
                 f"{self.field!r}")
 
+    # Hooks the sorted variant uses to maintain key order.
+    def _key_added(self, key: Any) -> None:
+        pass
+
+    def _key_removed(self, key: Any) -> None:
+        pass
+
     def __len__(self) -> int:
         return len(self._entries)
+
+
+#: Range operators a sorted index can serve.
+RANGE_OPS = ("$gt", "$gte", "$lt", "$lte")
+
+
+def _rank_key(key: Any) -> Optional[Tuple[int, Any]]:
+    """Totally-ordered wrapper for sortable keys; None if unsortable.
+
+    Numbers sort below strings (a simplified BSON type order); lists,
+    dicts, None, and bools-as-bools never satisfy a range predicate under
+    the query language's ``_ordered`` rules beyond numeric coercion, so
+    non-(number|string) keys stay out of the sorted key list — a range
+    lookup could never return them anyway.
+    """
+    if isinstance(key, bool):
+        return (0, int(key))
+    if isinstance(key, (int, float)):
+        return (0, key)
+    if isinstance(key, str):
+        return (1, key)
+    return None
+
+
+class SortedIndex(Index):
+    """An index whose keys are kept sorted for range lookups."""
+
+    kind = "sorted"
+    supports_range = True
+
+    def __init__(self, field: str, unique: bool = False):
+        super().__init__(field, unique=unique)
+        # Sorted list of (rank, key) pairs for the sortable keys.
+        self._sorted: List[Tuple[int, Any]] = []
+
+    def _key_added(self, key: Any) -> None:
+        rk = _rank_key(key)
+        if rk is not None:
+            insort(self._sorted, rk)
+
+    def _key_removed(self, key: Any) -> None:
+        rk = _rank_key(key)
+        if rk is None:
+            return
+        i = bisect_left(self._sorted, rk)
+        if i < len(self._sorted) and self._sorted[i] == rk:
+            del self._sorted[i]
+
+    def range_ids(self, ops: Dict[str, Any]) -> Optional[List[Any]]:
+        """Doc ids whose key satisfies every range predicate in ``ops``.
+
+        Returns None when the predicates cannot be served (unsortable
+        operand) — the caller must fall back to a scan.  Cost is
+        O(log keys + matches), not O(documents).
+        """
+        ranks = set()
+        for op, operand in ops.items():
+            rk = _rank_key(operand)
+            if rk is None:
+                return None
+            ranks.add(rk[0])
+        if len(ranks) > 1:
+            return []      # e.g. $gt 5 with $lt "z": nothing satisfies both
+        rank = ranks.pop()
+        lo = bisect_left(self._sorted, (rank,))
+        hi = bisect_left(self._sorted, (rank + 1,))
+        for op, operand in ops.items():
+            rk = (rank, operand)
+            if op == "$gt":
+                lo = max(lo, bisect_right(self._sorted, rk))
+            elif op == "$gte":
+                lo = max(lo, bisect_left(self._sorted, rk))
+            elif op == "$lt":
+                hi = min(hi, bisect_left(self._sorted, rk))
+            elif op == "$lte":
+                hi = min(hi, bisect_right(self._sorted, rk))
+        ids: List[Any] = []
+        for _, key in self._sorted[lo:hi]:
+            ids.extend(self._entries.get(key, ()))
+        return ids

@@ -13,6 +13,14 @@ GET/PUT tokens, and lifecycle rules with an expiry sweeper.
 """
 
 from repro.storage.objects import StoredObject, compute_etag
+from repro.storage.chunkstore import (
+    DEFAULT_CHUNK_BYTES,
+    ChunkRef,
+    ChunkStore,
+    ChunkedObject,
+    Manifest,
+    split_chunks,
+)
 from repro.storage.lifecycle import LifecycleRule
 from repro.storage.object_store import Bucket, ObjectStore
 from repro.storage.multipart import MultipartUpload
@@ -21,6 +29,12 @@ from repro.storage.presign import PresignedToken
 __all__ = [
     "StoredObject",
     "compute_etag",
+    "DEFAULT_CHUNK_BYTES",
+    "ChunkRef",
+    "ChunkStore",
+    "ChunkedObject",
+    "Manifest",
+    "split_chunks",
     "LifecycleRule",
     "Bucket",
     "ObjectStore",

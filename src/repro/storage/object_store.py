@@ -11,9 +11,14 @@ from repro.errors import (
     PreconditionFailed,
 )
 from repro.sim.monitor import Counter
+from repro.storage.chunkstore import (
+    DEFAULT_CHUNK_BYTES,
+    ChunkedObject,
+    ChunkStore,
+)
 from repro.storage.lifecycle import LifecycleRule
 from repro.storage.multipart import MultipartUpload
-from repro.storage.objects import StoredObject
+from repro.storage.objects import StoredObject, compute_etag
 from repro.storage.presign import PresignSigner
 
 
@@ -46,10 +51,14 @@ class ObjectStore:
     plain unit tests.
     """
 
-    def __init__(self, sim, secret: bytes = b"repro-object-store"):
+    def __init__(self, sim, secret: bytes = b"repro-object-store",
+                 chunk_size: int = DEFAULT_CHUNK_BYTES):
         self.sim = sim
         self.buckets: Dict[str, Bucket] = {}
         self.counters = Counter()
+        #: Content-addressed dedup backing for ``put_object(dedup=True)``.
+        #: Shared across all buckets: identical chunks are held once.
+        self.chunk_store = ChunkStore(chunk_size=chunk_size)
         self._signer = PresignSigner(secret, clock=lambda: self.sim.now)
         self._uploads: Dict[str, MultipartUpload] = {}
         #: Chaos hook: ``fault_hook(op, bucket, key)`` runs before every
@@ -79,19 +88,52 @@ class ObjectStore:
     def put_object(self, bucket_name: str, key: str, data: bytes,
                    metadata: Optional[dict] = None,
                    if_none_match: bool = False,
-                   padding_bytes: int = 0) -> StoredObject:
-        """Store an object; ``if_none_match`` makes the put create-only."""
+                   padding_bytes: int = 0,
+                   dedup: bool = False) -> StoredObject:
+        """Store an object; ``if_none_match`` makes the put create-only.
+
+        With ``dedup=True`` the payload is content-addressed through the
+        chunk store: only chunks never seen before cost memory, and the
+        stored object assembles its bytes from shared chunks on demand.
+        Sizes, etags, and bucket accounting are identical either way.
+        """
         if self.fault_hook is not None:
             self.fault_hook("put", bucket_name, key)
         bucket = self.bucket(bucket_name)
         if if_none_match and key in bucket.objects:
             raise PreconditionFailed(f"{bucket_name}/{key} already exists")
-        obj = StoredObject(key, data, created_at=self.sim.now,
-                           metadata=metadata, padding_bytes=padding_bytes)
+        if dedup:
+            manifest, new_bytes = self.chunk_store.store(data)
+            obj = ChunkedObject(key, manifest, self.chunk_store,
+                                created_at=self.sim.now, metadata=metadata,
+                                etag=compute_etag(data),
+                                padding_bytes=padding_bytes)
+            self.counters.incr("dedup_puts")
+            self.counters.incr("bytes_in_unique", new_bytes)
+            self.counters.incr("bytes_deduped", len(data) - new_bytes)
+        else:
+            obj = StoredObject(key, data, created_at=self.sim.now,
+                               metadata=metadata, padding_bytes=padding_bytes)
+        self._drop_object(bucket, key)  # release chunks of any overwrite
         bucket.objects[key] = obj
         self.counters.incr("puts")
         self.counters.incr("bytes_in", obj.size)
         return obj
+
+    def _drop_object(self, bucket: Bucket, key: str) -> bool:
+        """Remove ``key`` from ``bucket``, releasing chunk references.
+
+        Every deletion path (DELETE, lifecycle expiry, overwrite) funnels
+        through here so a manifest's chunks are refcounted down exactly
+        once — chunks shared with a live manifest survive.
+        """
+        obj = bucket.objects.pop(key, None)
+        if obj is None:
+            return False
+        if isinstance(obj, ChunkedObject):
+            self.counters.incr("chunk_bytes_freed",
+                               self.chunk_store.release(obj.manifest))
+        return True
 
     def get_object(self, bucket_name: str, key: str) -> StoredObject:
         if self.fault_hook is not None:
@@ -119,11 +161,10 @@ class ObjectStore:
     def delete_object(self, bucket_name: str, key: str,
                       missing_ok: bool = True) -> bool:
         bucket = self.bucket(bucket_name)
-        if key not in bucket.objects:
+        if not self._drop_object(bucket, key):
             if missing_ok:
                 return False
             raise NoSuchKey(f"{bucket_name}/{key}")
-        del bucket.objects[key]
         self.counters.incr("deletes")
         return True
 
@@ -131,7 +172,8 @@ class ObjectStore:
                     dst_bucket: str, dst_key: str) -> StoredObject:
         src = self.get_object(src_bucket, src_key)
         return self.put_object(dst_bucket, dst_key, src.data,
-                               metadata=src.metadata)
+                               metadata=src.metadata,
+                               dedup=isinstance(src, ChunkedObject))
 
     def list_objects(self, bucket_name: str, prefix: str = "") -> List[dict]:
         """Sorted HEAD views of all keys starting with ``prefix``."""
@@ -190,7 +232,7 @@ class ObjectStore:
                       if any(rule.matches(key) and rule.is_expired(obj, now)
                              for rule in bucket.lifecycle_rules)]
             for key in doomed:
-                del bucket.objects[key]
+                self._drop_object(bucket, key)
                 removed.append(f"{bucket.name}/{key}")
         self.counters.incr("lifecycle_expired", len(removed))
         return removed
@@ -217,5 +259,6 @@ class ObjectStore:
                         for name, b in self.buckets.items()},
             "total_bytes": self.total_bytes,
             "total_objects": self.total_objects,
+            "chunk_store": self.chunk_store.stats(),
             "counters": self.counters.as_dict(),
         }

@@ -52,14 +52,17 @@ def pack_tree(fs: VirtualFileSystem, top: str = "/",
 
 
 def unpack_tree(blob: bytes, fs: VirtualFileSystem, dest: str = "/",
-                compression: str = "bz2") -> List[str]:
+                compression: str = "auto") -> List[str]:
     """Extract an archive into ``fs`` under ``dest``; returns written paths.
 
     Member names are normalised through the VFS path algebra, so ``..``
-    components cannot escape ``dest`` (no tar-slip).
+    components cannot escape ``dest`` (no tar-slip).  ``compression``
+    defaults to auto-detection: the dedup upload path ships plain tars
+    (chunks dedup poorly through bz2's positional coding) while build
+    outputs stay ``.tar.bz2``, and the consumer should not care.
     """
     dest = normalize(dest)
-    mode = "r:bz2" if compression == "bz2" else "r"
+    mode = _read_mode(compression)
     written: List[str] = []
     try:
         tar = tarfile.open(fileobj=io.BytesIO(blob), mode=mode)
@@ -82,14 +85,21 @@ def unpack_tree(blob: bytes, fs: VirtualFileSystem, dest: str = "/",
     return written
 
 
-def archive_member_names(blob: bytes, compression: str = "bz2") -> List[str]:
+def archive_member_names(blob: bytes, compression: str = "auto") -> List[str]:
     """List member names without extracting (used by submission checks)."""
-    mode = "r:bz2" if compression == "bz2" else "r"
+    mode = _read_mode(compression)
     try:
         with tarfile.open(fileobj=io.BytesIO(blob), mode=mode) as tar:
             return [m.name for m in tar.getmembers()]
     except tarfile.TarError as exc:
         raise VfsError(f"invalid archive: {exc}") from exc
+
+
+def _read_mode(compression: str) -> str:
+    """Map a compression name to a tarfile read mode (``auto`` sniffs)."""
+    if compression == "auto":
+        return "r:*"
+    return "r:bz2" if compression == "bz2" else "r:"
 
 
 def _child(dirpath: str, name: str) -> str:

@@ -1,0 +1,80 @@
+"""Encode-once publishing: one serialization per publish, shared fan-out."""
+
+import json
+
+import pytest
+
+from repro.broker import Consumer, MessageBroker
+from repro.broker import message as message_mod
+from repro.broker.message import Message, encode_body
+
+
+@pytest.fixture
+def broker(sim):
+    return MessageBroker(sim)
+
+
+@pytest.fixture
+def counting_encoder(monkeypatch):
+    """Wrap the module-level encoder so every real encode is counted."""
+    calls = {"n": 0}
+    real = encode_body
+
+    def counted(body):
+        calls["n"] += 1
+        return real(body)
+
+    monkeypatch.setattr(message_mod, "encode_body", counted)
+    return calls
+
+
+class TestEncodeOnce:
+    def test_publish_encodes_exactly_once(self, broker, counting_encoder):
+        msg = broker.publish("rai", {"job_id": "job-1", "blob": "x" * 500})
+        assert counting_encoder["n"] == 1
+        # Reading the payload and size afterwards reuses the cached bytes.
+        _ = msg.payload
+        _ = msg.encoded_size()
+        _ = msg.encoded_size()
+        assert counting_encoder["n"] == 1
+
+    def test_fanout_copies_share_payload(self, broker, counting_encoder):
+        for i in range(3):
+            Consumer(broker, f"rai/channel-{i}")
+        original = broker.publish("rai", {"n": 1})
+        assert counting_encoder["n"] == 1
+        copies = [broker.topic("rai").channels[f"channel-{i}"].items[-1]
+                  for i in range(3)]
+        for copy in copies:
+            assert copy is not original
+            assert copy.payload is original.payload
+        assert counting_encoder["n"] == 1
+
+    def test_ten_channel_fanout_still_one_encode(self, broker,
+                                                 counting_encoder):
+        for i in range(10):
+            Consumer(broker, f"rai/c{i}")
+        for _ in range(5):
+            broker.publish("rai", {"payload": list(range(50))})
+        assert counting_encoder["n"] == 5
+
+    def test_size_limit_checked_against_encoded_payload(self, sim):
+        broker = MessageBroker(sim, max_message_bytes=64)
+        from repro.errors import MessageTooLarge
+        with pytest.raises(MessageTooLarge):
+            broker.publish("rai", {"blob": "x" * 100})
+
+    def test_payload_bytes_match_body(self, broker):
+        msg = broker.publish("rai", {"a": 1, "b": "two"})
+        assert json.loads(msg.payload.decode("utf-8")) == \
+            {"a": 1, "b": "two"}
+        assert msg.encoded_size() == len(msg.payload)
+
+    def test_lazy_message_encodes_on_demand(self, counting_encoder):
+        msg = Message(topic="t", body={"n": 1}, timestamp=0.0)
+        assert counting_encoder["n"] == 0
+        size = msg.encoded_size()
+        assert size == len(encode_body({"n": 1}))
+        assert counting_encoder["n"] == 1
+        _ = msg.payload
+        assert counting_encoder["n"] == 1

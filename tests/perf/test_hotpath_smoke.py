@@ -1,0 +1,52 @@
+"""Tier-1 smoke of the hot-path bench: dedup wins and indexed probes.
+
+``benchmarks/bench_hotpath.py`` runs the full scale ladder; this runs the
+tiny smoke scale on every test pass so a regression in the dedup upload
+path or the query planner fails fast, not only when someone regenerates
+``BENCH_hotpath.json``.
+"""
+
+import pytest
+
+from repro.workload.hotpath import SMOKE_SCALE, run_hotpath
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.fixture(scope="module")
+def metrics():
+    return run_hotpath(SMOKE_SCALE)
+
+
+def test_all_submissions_complete(metrics):
+    expected = SMOKE_SCALE.n_students * (SMOKE_SCALE.n_resubmissions + 1)
+    assert metrics["submissions_completed"] == expected
+
+
+def test_dedup_ratio_beats_full_uploads(metrics):
+    """Resubmissions must actually dedup: logical bytes exceed wire bytes."""
+    assert metrics["upload"]["dedup_ratio"] > 1.0
+    resub = metrics["upload"]["resubmissions"]
+    assert resub["wire_bytes"] < resub["full_bytes"]
+    assert metrics["storage"]["chunk_store"]["dedup_ratio"] > 1.0
+
+
+def test_indexed_submission_lookup_beats_scan(metrics):
+    """The per-job probe runs on the submissions.job_id index and
+    examines fewer documents than the scan path would."""
+    probe = metrics["docdb"]["job_id_probe"]
+    assert probe["path"] == "index"
+    assert probe["index"] == "job_id"
+    assert probe["docs_examined"] < probe["docs_total"]
+    assert probe["docs_examined"] == 1
+    assert metrics["docdb"]["planner"]["scans"] == 0
+
+
+def test_time_window_query_runs_on_sorted_index(metrics):
+    window = metrics["docdb"]["finished_at_window"]
+    assert window["path"] == "index"
+    assert window["index_kind"] == "range"
+
+
+def test_worker_fetch_cache_saves_bytes(metrics):
+    assert metrics["worker_fetch"]["bytes_saved"] > 0
