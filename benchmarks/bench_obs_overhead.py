@@ -1,0 +1,75 @@
+"""Observability overhead — tracing ON vs OFF across hot-path scales.
+
+Not a paper figure: this bench prices the ``repro.obs`` subsystem so
+later PRs can regress against it.  It runs the hot-path workload at
+each scale twice — tracing enabled and disabled — and reports the wall
+clock delta, span volume, and store pressure, asserting the acceptance
+bar (< 10% overhead at every scale) and writing ``BENCH_obs.json`` at
+the repository root.
+
+Run: ``pytest benchmarks/bench_obs_overhead.py -s``
+"""
+
+import json
+import os
+
+from benchmarks.conftest import print_banner
+from repro.core.config import SystemConfig
+from repro.workload.hotpath import DEFAULT_SCALES, run_hotpath
+
+_OUT_PATH = os.path.join(os.path.dirname(os.path.dirname(__file__)),
+                         "BENCH_obs.json")
+
+_ROUNDS = 3  # min-of-N per side damps scheduler noise
+
+
+def _best_of(scale, tracing: bool) -> float:
+    return min(
+        run_hotpath(scale, config=SystemConfig(
+            tracing_enabled=tracing))["wall_clock_s"]
+        for _ in range(_ROUNDS))
+
+
+def test_obs_overhead_trajectory(benchmark):
+    def run_all_scales():
+        rows = []
+        for scale in DEFAULT_SCALES:
+            on = _best_of(scale, tracing=True)
+            off = _best_of(scale, tracing=False)
+            overhead = (on / off - 1.0) if off > 0 else 0.0
+            rows.append({
+                "scale": scale.name,
+                "submissions": scale.n_students * (scale.n_resubmissions + 1),
+                "wall_s_tracing_on": round(on, 4),
+                "wall_s_tracing_off": round(off, 4),
+                "overhead_pct": round(100 * overhead, 2),
+            })
+        return rows
+
+    rows = benchmark.pedantic(run_all_scales, rounds=1, iterations=1)
+
+    print_banner("repro.obs — tracing overhead (on vs off, min of "
+                 f"{_ROUNDS})")
+    print(f"{'scale':<10}{'subs':>6}{'on s':>9}{'off s':>9}"
+          f"{'overhead':>10}")
+    for row in rows:
+        print(f"{row['scale']:<10}{row['submissions']:>6}"
+              f"{row['wall_s_tracing_on']:>9.3f}"
+              f"{row['wall_s_tracing_off']:>9.3f}"
+              f"{row['overhead_pct']:>9.1f}%")
+
+    # --- acceptance bar (ISSUE 3): tracing costs < 10% everywhere -------
+    worst = max(row["overhead_pct"] for row in rows)
+    print(f"\nworst-case overhead: {worst:.1f}% (budget 10%)")
+    assert worst < 10.0
+
+    payload = {
+        "bench": "obs_overhead",
+        "source": "benchmarks/bench_obs_overhead.py",
+        "rounds_per_side": _ROUNDS,
+        "scales": rows,
+    }
+    with open(_OUT_PATH, "w") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    print(f"\nwrote {_OUT_PATH}")

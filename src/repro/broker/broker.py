@@ -9,7 +9,7 @@ from repro.broker.message import Message
 from repro.broker.routes import Route, parse_route, validate_name
 from repro.broker.topic import Channel, Topic
 from repro.errors import MessageTooLarge, UnknownTopic
-from repro.sim.monitor import Counter
+from repro.obs.metrics import CounterGroup, MetricsRegistry
 
 
 class MessageBroker:
@@ -24,6 +24,14 @@ class MessageBroker:
         broker (they go to the file server), so job messages stay small.
     default_max_attempts:
         Redelivery budget before a message is dead-lettered.
+    metrics:
+        Shared :class:`~repro.obs.metrics.MetricsRegistry`.  The broker's
+        tallies live there under a ``broker_`` prefix; :attr:`counters`
+        remains the legacy accessor as a thin view.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`.  Messages published
+        with trace headers get a ``broker.deliver`` span per delivery
+        (publish → claim), chaining redeliveries into the same trace.
     """
 
     #: Topics whose names start with this prefix are ephemeral log topics
@@ -31,13 +39,16 @@ class MessageBroker:
     EPHEMERAL_PREFIX = "log_"
 
     def __init__(self, sim, max_message_bytes: int = 1 << 20,
-                 default_max_attempts: int = 5):
+                 default_max_attempts: int = 5,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer=None):
         self.sim = sim
         self.max_message_bytes = max_message_bytes
         self.default_max_attempts = default_max_attempts
         self.topics: Dict[str, Topic] = {}
-        self.counters = Counter()
-        self.total_bytes_published = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.counters = CounterGroup(self.metrics, prefix="broker_")
+        self.tracer = tracer
 
     # -- topology ------------------------------------------------------------
 
@@ -55,6 +66,7 @@ class MessageBroker:
             t = Topic(self.sim, name, ephemeral=ephemeral,
                       max_attempts=self.default_max_attempts,
                       on_empty=self._reap_topic)
+            t.broker = self
             self.topics[name] = t
             self.counters.incr("topics_created")
         return t
@@ -80,12 +92,14 @@ class MessageBroker:
 
     # -- data plane ------------------------------------------------------------
 
-    def publish(self, topic_name: str, body) -> Message:
+    def publish(self, topic_name: str, body, headers=None) -> Message:
         """Publish a JSON-serialisable body; returns the stored message.
 
         The body is encoded exactly once, here: the size check, the byte
         accounting, ``Message.encoded_size()``, and every channel fan-out
-        copy all reuse the same cached payload bytes.
+        copy all reuse the same cached payload bytes.  ``headers`` travel
+        out-of-band (trace context; never counted against the size
+        limit).
         """
         try:
             # Late-bound module lookup so a monkeypatched encoder sees
@@ -98,11 +112,16 @@ class MessageBroker:
             raise MessageTooLarge(
                 f"{size} bytes exceeds limit of {self.max_message_bytes}")
         msg = Message(topic_name, body, timestamp=self.sim.now,
-                      payload=payload)
+                      payload=payload, headers=headers)
         self.topic(topic_name).publish(msg)
         self.counters.incr("messages_published")
-        self.total_bytes_published += size
+        self.counters.incr("bytes_published", size)
         return msg
+
+    @property
+    def total_bytes_published(self) -> int:
+        """Legacy accessor — now a view over the metrics registry."""
+        return int(self.counters.get("bytes_published"))
 
     # -- resiliency ------------------------------------------------------------
 

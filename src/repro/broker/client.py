@@ -25,10 +25,10 @@ class Producer:
         self._topic.producer_count += 1
         self._closed = False
 
-    def publish(self, body) -> Message:
+    def publish(self, body, headers=None) -> Message:
         if self._closed:
             raise RuntimeError("producer is closed")
-        return self.broker.publish(self.topic_name, body)
+        return self.broker.publish(self.topic_name, body, headers=headers)
 
     def close(self) -> None:
         if not self._closed:

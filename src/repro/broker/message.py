@@ -42,11 +42,12 @@ class Message:
     """
 
     __slots__ = ("id", "topic", "body", "timestamp", "attempts",
-                 "delivered_at", "_channel", "_payload")
+                 "delivered_at", "headers", "_channel", "_payload")
 
     def __init__(self, topic: str, body: Any, timestamp: float,
                  message_id: Optional[str] = None,
-                 payload: Optional[bytes] = None):
+                 payload: Optional[bytes] = None,
+                 headers: Optional[dict] = None):
         self.id = message_id or new_message_id()
         self.topic = topic
         self.body = body
@@ -54,6 +55,10 @@ class Message:
         self.attempts = 0
         #: Simulated time of the most recent delivery (None before first).
         self.delivered_at: Optional[float] = None
+        #: Out-of-band metadata (trace context).  Never part of the wire
+        #: payload or the size limit, and invisible to body signatures —
+        #: the kiwiPy-style propagation channel for ``repro.obs``.
+        self.headers = headers
         self._channel = None  # set on delivery; used by ack/requeue
         #: Cached wire encoding — set once by the broker at publish time
         #: (or lazily on first use) and shared by fan-out copies.
@@ -77,7 +82,7 @@ class Message:
         channels costs zero additional serialisations.
         """
         clone = Message(self.topic, self.body, self.timestamp, self.id,
-                        payload=self._payload)
+                        payload=self._payload, headers=self.headers)
         return clone
 
     def __repr__(self):

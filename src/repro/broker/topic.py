@@ -54,6 +54,29 @@ class Channel(Store):
         msg._channel = self
         self.in_flight[msg.id] = msg
         self.total_delivered += 1
+        self._trace_delivery(msg)
+
+    def _trace_delivery(self, msg: Message) -> None:
+        """Span the publish → claim gap for trace-carrying messages.
+
+        The completed ``broker.deliver`` span replaces the message's
+        headers with its own context, so the consumer's span — and any
+        redelivery's deliver span — parents on *this* delivery: a
+        redelivered job reads as a chain, one deliver span per attempt.
+        """
+        broker = getattr(self.topic, "broker", None)
+        tracer = getattr(broker, "tracer", None)
+        if not msg.headers or tracer is None or not tracer.enabled:
+            return
+        span = tracer.start_span(
+            "broker.deliver", parent=msg.headers, kind="broker",
+            start_time=msg.timestamp,
+            attributes={"topic": self.topic.name, "channel": self.name,
+                        "message_id": msg.id, "attempt": msg.attempts})
+        if msg.attempts > 1:
+            span.add_event("redelivery", attempt=msg.attempts)
+        span.end(at=self.sim.now)
+        msg.headers = span.headers()
 
     def ack(self, message: Message) -> None:
         self.in_flight.pop(message.id, None)
@@ -130,6 +153,10 @@ class Topic:
         self.backlog: Deque[Message] = deque()
         self.producer_count = 0
         self.total_published = 0
+        #: Back-reference set by :class:`~repro.broker.broker.MessageBroker`
+        #: (None for free-standing topics in unit tests); channels use it
+        #: to reach the broker's tracer for delivery spans.
+        self.broker = None
         #: Callback invoked when an ephemeral topic becomes garbage.
         self._on_empty = on_empty
 

@@ -28,7 +28,7 @@ class RaiCLI:
     """Parses ``rai <subcommand>`` strings and drives a client."""
 
     SUBCOMMANDS = ("run", "submit", "ranking", "history", "download",
-                   "stats", "version", "help")
+                   "stats", "trace", "version", "help")
 
     def __init__(self, system, client: RaiClient):
         self.system = system
@@ -112,6 +112,27 @@ class RaiCLI:
         from repro.core.telemetry import health_report
 
         return health_report(self.system) + "\n"
+
+    def _cmd_trace(self, args: List[str]) -> str:
+        """``rai trace [job_id]`` — waterfall + critical path for a job
+        (defaults to this client's most recent submission)."""
+        from repro.obs.waterfall import find_trace, render_trace_report
+
+        if args:
+            target = args[0]
+        else:
+            submitted = [r for r in self.client.history
+                         if r.job_id != "(unassigned)"]
+            if not submitted:
+                return "No jobs submitted in this session.\n"
+            target = submitted[-1].job_id
+        if not self.system.tracer.enabled:
+            return "rai trace: tracing is disabled on this deployment\n"
+        trace = find_trace(self.system.tracer.store, target)
+        if trace is None:
+            return (f"rai trace: no trace recorded for {target!r} "
+                    f"(evicted, or submitted before tracing started?)\n")
+        return render_trace_report(trace) + "\n"
 
     def _cmd_version(self, args: List[str]) -> str:
         info = build_info()

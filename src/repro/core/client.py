@@ -105,11 +105,16 @@ class RaiClient:
         """
         result = JobResult(job_id="(unassigned)")
         self.history.append(result)
+        tracer = self.system.tracer
+        span = tracer.start_span(
+            "client.submit", kind="client",
+            attributes={"user": self.username, "kind": kind.value})
 
         def reject(exc: Exception) -> JobResult:
             result.status = JobStatus.REJECTED
             result.error = str(exc)
             result.finished_at = self.sim.now
+            tracer.end_subtree(span, status="error", message=str(exc))
             if raise_on_reject:
                 raise exc
             return result
@@ -169,9 +174,19 @@ class RaiClient:
         full_bytes = len(archive) + self.project_padding_bytes
         upload_bytes = wire_bytes + self.project_padding_bytes
         upload_seconds = upload_bytes / self.system.config.client_bandwidth_bps
+        upload_span = tracer.start_span(
+            "client.upload", parent=span, kind="client",
+            attributes={"bytes": upload_bytes, "bytes_full": full_bytes,
+                        "dedup": dedup})
+        if dedup:
+            upload_span.add_event("chunk.negotiation",
+                                  delta_chunks=len(delta),
+                                  wire_bytes=wire_bytes)
         yield self.sim.timeout(upload_seconds)
         job_id = new_job_id()
         result.job_id = job_id
+        # Binds the whole trace to the job id in the trace store.
+        span.set_attribute("job_id", job_id)
         suffix = "tar" if dedup else "tar.bz2"
         upload_key = f"{self.username}/{job_id}.{suffix}"
         try:
@@ -182,7 +197,9 @@ class RaiClient:
                 padding_bytes=self.project_padding_bytes, dedup=dedup)
         except StorageError as exc:
             self.system.monitor.incr("client_upload_failures")
+            upload_span.end(status="error", message=str(exc))
             return reject(SubmissionRejected(f"project upload failed: {exc}"))
+        upload_span.end()
         if dedup:
             self._last_manifest = manifest
         result.upload_bytes = upload_bytes
@@ -214,15 +231,23 @@ class RaiClient:
         # Step 5 — subscribe to the log topic *before* publishing, so not
         # even the first worker message can be missed.
         consumer = Consumer(self.system.broker, f"log_{job_id}/#ch")
+        publish_span = tracer.start_span("client.publish", parent=span,
+                                         kind="client",
+                                         attributes={"topic": "rai"})
         try:
-            self.system.broker.publish("rai", job.to_message())
+            # The publish span's context rides the message headers: the
+            # broker's delivery and the worker's whole job chain onto it.
+            self.system.broker.publish("rai", job.to_message(),
+                                       headers=publish_span.headers())
         except BrokerError as exc:
             # The job never reached the queue; release the log subscription
             # (otherwise the ephemeral log topic is pinned forever).
             consumer.close()
             self.system.monitor.incr("client_publish_rejected")
+            publish_span.end(status="error", message=str(exc))
             return reject(SubmissionRejected(
                 f"job request rejected by the broker: {exc}"))
+        publish_span.end()
         result.status = JobStatus.QUEUED
         result.queued_at = self.sim.now
         self.system.monitor.incr("jobs_submitted")
@@ -252,6 +277,7 @@ class RaiClient:
                             f"for job completion")
                         result.finished_at = self.sim.now
                         self.system.monitor.incr("client_wait_timeouts")
+                        span.add_event("wait.timeout", seconds=wait_timeout)
                         break
                     message = get_event.value
                 if message is None:
@@ -276,9 +302,19 @@ class RaiClient:
                     result.status = JobStatus(payload["status"])
                     result.exit_code = payload.get("exit_code")
                     result.finished_at = payload["t"]
+                    span.add_event("end.received", status=payload["status"])
                     break
         finally:
             consumer.close()
+            span.set_attribute("status", result.status.value)
+            if result.status is JobStatus.TIMEOUT:
+                tracer.end_subtree(span, status="error",
+                                   message=result.error)
+            else:
+                tracer.end_subtree(span)
+            # Queue→End latency, bucketed for the operator report.
+            self.system.metrics.histogram("job_turnaround_seconds").observe(
+                (result.finished_at or self.sim.now) - job.submitted_at)
 
         # Steps 7/8 — the worker already recorded finals in the ranking DB;
         # surface the team's rank on the result for convenience.

@@ -93,3 +93,10 @@ class SystemConfig:
     dedup_uploads: bool = True
     #: Fixed chunk size of the content-addressed store.
     chunk_size_bytes: int = 4096
+    #: End-to-end distributed tracing (``repro.obs``).  Spans are passive
+    #: — they never schedule simulator events — so disabling changes only
+    #: bookkeeping, never the simulated timeline.
+    tracing_enabled: bool = True
+    #: Ring capacity of the in-memory trace store (oldest *finished*
+    #: traces are evicted first; live traces are never dropped).
+    trace_max_traces: int = 512

@@ -21,6 +21,9 @@ from repro.core.ranking import RankingService
 from repro.core.ratelimit import RateLimiter
 from repro.core.worker import RaiWorker
 from repro.docdb.database import DocumentDB
+from repro.obs.metrics import CounterGroup, MetricsRegistry
+from repro.obs.store import TraceStore
+from repro.obs.tracer import Tracer
 from repro.sim.kernel import Simulator
 from repro.sim.monitor import Monitor
 from repro.sim.random import RandomStreams
@@ -29,10 +32,18 @@ from repro.storage.object_store import ObjectStore
 
 
 class SystemMonitor(Monitor):
-    """Deployment monitor: adds the submission event log Figure 4 uses."""
+    """Deployment monitor: adds the submission event log Figure 4 uses.
 
-    def __init__(self, sim):
+    When handed a :class:`~repro.obs.metrics.MetricsRegistry` its counters
+    live there (unprefixed) so every tally in the deployment — monitor,
+    broker, planner — shares one queryable store; ``monitor.counters``
+    keeps the legacy ``incr``/``get``/``as_dict`` surface as a thin view.
+    """
+
+    def __init__(self, sim, metrics: Optional[MetricsRegistry] = None):
         super().__init__(sim)
+        if metrics is not None:
+            self.counters = CounterGroup(metrics)
         #: (sim time, JobKind) per accepted submission.
         self.submission_events: List[tuple] = []
 
@@ -53,12 +64,24 @@ class RaiSystem:
         self.config = config or SystemConfig()
         self.sim = Simulator()
         self.rng = RandomStreams(seed)
-        self.monitor = SystemMonitor(self.sim)
+        #: The deployment-wide metrics registry: every counter, gauge, and
+        #: histogram in the system lives here (§ the unified side of
+        #: ``repro.obs``); legacy accessors are views over it.
+        self.metrics = MetricsRegistry()
+        self.monitor = SystemMonitor(self.sim, metrics=self.metrics)
+        #: The deployment tracer; one submission = one trace spanning
+        #: client → broker → worker → container → storage → docdb.
+        self.tracer = Tracer(
+            clock=lambda: self.sim.now,
+            store=TraceStore(max_traces=self.config.trace_max_traces),
+            enabled=self.config.tracing_enabled,
+            metrics=self.metrics)
 
-        self.broker = MessageBroker(self.sim)
+        self.broker = MessageBroker(self.sim, metrics=self.metrics,
+                                    tracer=self.tracer)
         self.storage = ObjectStore(self.sim,
                                    chunk_size=self.config.chunk_size_bytes)
-        self.db = DocumentDB(self.sim)
+        self.db = DocumentDB(self.sim, metrics=self.metrics)
         # The per-job dedup probe (worker._record, dead-letter drain) runs
         # once per submission; an index keeps it O(1) instead of a scan
         # over every submission the course has ever recorded.
@@ -82,6 +105,21 @@ class RaiSystem:
         builds.add_lifecycle_rule(LifecycleRule(
             expire_after=self.config.build_lifetime_seconds,
             since="creation"))
+
+        # Callback gauges: live deployment signals readable straight off
+        # the registry (and sampled into time series by TelemetrySampler).
+        self.metrics.gauge("queue_depth", fn=self.queue_depth)
+        self.metrics.gauge("workers_running",
+                           fn=lambda: len(self.running_workers))
+        self.metrics.gauge("jobs_active", fn=lambda: sum(
+            w.active_jobs for w in self.running_workers))
+        self.metrics.gauge("storage_bytes",
+                           fn=lambda: self.storage.total_bytes)
+        self.metrics.gauge("in_flight", fn=lambda: sum(
+            len(channel.in_flight)
+            for topic in self.broker.topics.values()
+            for channel in topic.channels.values()))
+        self.metrics.gauge("dead_letters", fn=self.broker.dead_letter_count)
 
     # -- construction helpers ------------------------------------------------
 

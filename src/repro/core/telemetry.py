@@ -28,42 +28,62 @@ class TelemetrySampler:
     - ``faults_injected`` / ``storage_retries`` — cumulative chaos and
       recovery activity (flat at 0 in a clean run).
 
-    Each sample also bumps a ``telemetry_heartbeats`` counter, so a stuck
-    sampler (or a stuck simulation) is itself observable.
+    Each sample also bumps a ``telemetry_heartbeats`` counter and stamps
+    :attr:`last_heartbeat_at`, so a stuck sampler (or a stuck simulation)
+    is itself observable — :meth:`is_stuck` flags a heartbeat gap of more
+    than twice the sampling interval, and the health report surfaces it.
     """
 
     def __init__(self, system, interval: float = 300.0):
         self.system = system
         self.interval = interval
         self._stopped = False
+        #: Simulated time sampling began (set when :meth:`run` starts).
+        self.started_at: Optional[float] = None
+        #: Simulated time of the most recent completed sample.
+        self.last_heartbeat_at: Optional[float] = None
 
     def stop(self) -> None:
         self._stopped = True
 
+    def is_stuck(self, now: Optional[float] = None) -> bool:
+        """True when the sampler should have heartbeat but has not.
+
+        A deliberately stopped sampler is not stuck; one that has never
+        run (``started_at`` unset) cannot be judged and reports False.
+        """
+        if self._stopped or self.started_at is None:
+            return False
+        if now is None:
+            now = self.system.sim.now
+        last = self.last_heartbeat_at if self.last_heartbeat_at is not None \
+            else self.started_at
+        return now - last > 2 * self.interval
+
     def run(self):
-        """Kernel process; start with ``sim.process(sampler.run())``."""
+        """Kernel process; start with ``sim.process(sampler.run())``.
+
+        The signal list is no longer hand-maintained here: every
+        *callback-backed, unlabelled* gauge in the system's metrics
+        registry (queue depth, fleet state, broker health — registered by
+        :class:`~repro.core.system.RaiSystem`) is sampled into a monitor
+        time series of the same name.
+        """
         monitor = self.system.monitor
+        metrics = self.system.metrics
+        self.started_at = self.system.sim.now
         while not self._stopped:
             yield self.system.sim.timeout(self.interval)
-            workers = self.system.running_workers
-            monitor.record("queue_depth", self.system.queue_depth())
-            monitor.record("workers_running", len(workers))
-            monitor.record("jobs_active",
-                           sum(w.active_jobs for w in workers))
-            monitor.record("storage_bytes",
-                           self.system.storage.total_bytes)
-            in_flight = sum(
-                len(channel.in_flight)
-                for topic in self.system.broker.topics.values()
-                for channel in topic.channels.values())
-            monitor.record("in_flight", in_flight)
-            monitor.record("dead_letters",
-                           self.system.broker.dead_letter_count())
+            for gauge in metrics.gauges():
+                if gauge.labels or gauge.fn is None:
+                    continue
+                monitor.record(gauge.name, gauge.value)
             monitor.record("faults_injected",
                            monitor.counters.get("faults_injected"))
             monitor.record("storage_retries",
                            monitor.counters.get("storage_retries"))
             monitor.incr("telemetry_heartbeats")
+            self.last_heartbeat_at = self.system.sim.now
 
     # -- analysis ------------------------------------------------------------
 
@@ -108,5 +128,13 @@ def health_report(system, sampler: Optional[TelemetrySampler] = None) -> str:
         for signal in ("queue_depth", "workers_running", "jobs_active"):
             rows.append([f"{signal} (avg)", f"{sampler.average(signal):.2f}"])
             rows.append([f"{signal} (peak)", f"{sampler.peak(signal):.0f}"])
+        if sampler.is_stuck():
+            last = sampler.last_heartbeat_at \
+                if sampler.last_heartbeat_at is not None \
+                else sampler.started_at
+            rows.append(["⚠ ALERT telemetry sampler stuck",
+                         f"no heartbeat for "
+                         f"{system.sim.now - last:.0f}s "
+                         f"(interval {sampler.interval:.0f}s)"])
     return render_table(["metric", "value"], rows,
                         title="RAI deployment health")

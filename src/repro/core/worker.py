@@ -79,6 +79,10 @@ class RaiWorker:
         # edits transfers only its changed chunks.
         self._fetch_cache: "OrderedDict[str, int]" = OrderedDict()
         self._fetch_cache_bytes = 0
+        #: Open worker.job spans (one per in-flight job) so a crash can
+        #: annotate and close them — the interrupted generators never
+        #: reach their own finally blocks' span bookkeeping in time.
+        self._active_spans: List = []
         self.active_jobs = 0
         self.jobs_completed = 0
         self.jobs_failed = 0
@@ -126,6 +130,12 @@ class RaiWorker:
         be robust to failures").
         """
         self._crashed = True
+        tracer = self.system.tracer
+        for span in list(self._active_spans):
+            span.add_event("fault.worker_crash", worker=self.id)
+            tracer.end_subtree(span, status="error",
+                               message=f"worker {self.id} crashed mid-job")
+        self._active_spans.clear()
         self.stop()
 
     @property
@@ -216,12 +226,22 @@ class RaiWorker:
         deadline = (self.sim.now + self.config.job_deadline_seconds
                     if self.config.job_deadline_seconds is not None else None)
         self.active_jobs += 1
+        tracer = self.system.tracer
+        # Parent on the message headers: the broker.deliver span the
+        # channel minted on claim (or the client's publish span if this
+        # message never carried delivery tracing).
+        wspan = tracer.start_span(
+            "worker.job", parent=message.headers, kind="worker",
+            attributes={"worker": self.id, "attempt": message.attempts},
+            job_id=job.id)
+        self._active_spans.append(wspan)
         producer = Producer(self.system.broker, f"log_{job.id}")
         outputs: List[tuple] = []
 
-        def publish(kind: str, **payload) -> None:
+        def publish(kind: str, _headers=None, **payload) -> None:
             producer.publish({"type": kind, "t": self.sim.now,
-                              "worker": self.id, **payload})
+                              "worker": self.id, **payload},
+                             headers=_headers)
 
         def publish_log(stream: str, text: str) -> None:
             outputs.append((stream, text))
@@ -235,10 +255,13 @@ class RaiWorker:
 
             # Step 2 — credentials and spec.
             try:
-                credential = self._verify(job)
-                spec = parse_build_spec(job.spec_yaml)
-                spec.validate(image_whitelist=self.system.registry.whitelist
-                              or None)
+                with tracer.start_span("buildspec.parse", parent=wspan,
+                                       kind="worker"):
+                    credential = self._verify(job)
+                    spec = parse_build_spec(job.spec_yaml)
+                    spec.validate(
+                        image_whitelist=self.system.registry.whitelist
+                        or None)
             except (InvalidCredentials, SignatureMismatch,
                     BuildSpecError, ContainerError) as exc:
                 publish_log("stderr", f"✗ job rejected: {exc}\n")
@@ -248,26 +271,35 @@ class RaiWorker:
             # Step 4 — fetch and unpack the project.  Transient storage
             # errors are retried with backoff; permanent ones (NoSuchKey
             # after lifecycle expiry etc.) reject immediately.
+            get_span = tracer.start_span(
+                "storage.get", parent=wspan, kind="storage",
+                attributes={"bucket": job.upload_bucket,
+                            "key": job.upload_key})
             try:
                 archive = yield from self._storage_call(
                     "project fetch",
                     lambda: self.system.storage.get_object(
                         job.upload_bucket, job.upload_key),
-                    deadline, publish_log)
+                    deadline, publish_log, span=get_span)
             except TransientStorageError as exc:
                 publish_log("stderr",
                             f"✗ cannot fetch project after retries: {exc}\n")
+                get_span.end(status="error", message=str(exc))
                 status = JobStatus.FAILED
                 self._record(job, status, exit_code, outputs, build_url,
-                             attempts=message.attempts)
+                             attempts=message.attempts, span=wspan)
                 return
             except StorageError as exc:  # NoSuchKey etc.
                 publish_log("stderr", f"✗ cannot fetch project: {exc}\n")
+                get_span.end(status="error", message=str(exc))
                 status = JobStatus.REJECTED
                 return
+            transfer_bytes = self._fetch_transfer_bytes(archive)
+            get_span.set_attribute("transfer_bytes", transfer_bytes)
+            get_span.set_attribute("object_bytes", archive.size)
             yield self.sim.timeout(
-                self._fetch_transfer_bytes(archive)
-                / self.config.storage_bandwidth_bps)
+                transfer_bytes / self.config.storage_bandwidth_bps)
+            get_span.end()
             self._check_deadline(deadline)
             project_fs = VirtualFileSystem(clock=lambda: self.sim.now)
             unpack_tree(archive.data, project_fs, "/")
@@ -276,6 +308,8 @@ class RaiWorker:
             pull_cost = self.runtime.pull_cost_seconds(spec.image)
             if pull_cost > 0:
                 publish_log("stdout", f"Pulling image {spec.image} ...\n")
+                wspan.add_event("image.pull", image=spec.image,
+                                seconds=pull_cost)
                 yield self.sim.timeout(pull_cost)
                 self._check_deadline(deadline)
             container = self.runtime.create_container(
@@ -298,16 +332,26 @@ class RaiWorker:
 
             # Step 5 — run the build commands.
             try:
+                run_span = tracer.start_span(
+                    "container.run", parent=wspan, kind="container",
+                    attributes={"image": spec.image,
+                                "container": container.id})
                 exit_code = 0
                 for command in spec.build_commands:
                     self._check_deadline(deadline)
                     publish("command", command=command)
+                    exec_span = tracer.start_span(
+                        "container.exec", parent=run_span, kind="container",
+                        attributes={"command": command})
                     result = container.exec_line(command)
                     # sim_duration already includes contention dilation
                     # (applied at charge time inside the container).
                     yield self.sim.timeout(result.sim_duration)
+                    exec_span.set_attribute("exit_code", result.exit_code)
                     if result.error is not None:
                         publish_log("stderr", f"✗ {result.error}\n")
+                        exec_span.add_event("error", error=result.error)
+                        exec_span.end(status="error", message=result.error)
                         exit_code = result.exit_code
                         break
                     if result.exit_code != 0:
@@ -315,17 +359,28 @@ class RaiWorker:
                             "stderr",
                             f"✗ command exited with status "
                             f"{result.exit_code}\n")
+                        exec_span.end(
+                            status="error",
+                            message=f"exit {result.exit_code}")
                         exit_code = result.exit_code
                         break
+                    exec_span.end()
                 status = (JobStatus.SUCCEEDED if exit_code == 0
                           else JobStatus.FAILED)
+                run_span.set_attribute("exit_code", exit_code)
+                run_span.end(status=None if exit_code == 0 else "error")
 
                 # Step 6 — archive /build and upload it.
                 if container.fs is not None and container.fs.isdir("/build"):
                     blob = pack_tree(container.fs, "/build")
+                    key = f"{job.id}/build.tar.bz2"
+                    put_span = tracer.start_span(
+                        "storage.put", parent=wspan, kind="storage",
+                        attributes={
+                            "bucket": self.system.config.build_bucket,
+                            "key": key, "bytes": len(blob)})
                     yield self.sim.timeout(
                         len(blob) / self.config.storage_bandwidth_bps)
-                    key = f"{job.id}/build.tar.bz2"
                     try:
                         yield from self._storage_call(
                             "build upload",
@@ -337,15 +392,17 @@ class RaiWorker:
                                     "team": job.team or "",
                                     "kind": job.kind.value,
                                 }),
-                            deadline, publish_log)
+                            deadline, publish_log, span=put_span)
                     except TransientStorageError as exc:
                         # Degrade rather than fail the whole job: the build
                         # ran; only its artifact is lost.
                         publish_log(
                             "stderr",
                             f"⚠ build upload failed after retries: {exc}\n")
+                        put_span.end(status="error", message=str(exc))
                         self.system.monitor.incr("build_upload_failures")
                     else:
+                        put_span.end()
                         build_url = self.system.storage.presign_get(
                             self.system.config.build_bucket, key,
                             expires_in=self.system.config
@@ -358,7 +415,7 @@ class RaiWorker:
 
             # Record the submission and, for finals, the ranking.
             self._record(job, status, exit_code, outputs, build_url,
-                         attempts=message.attempts)
+                         attempts=message.attempts, span=wspan)
         except JobDeadlineExceeded as exc:
             # The paper's 1-hour cap, applied wall-clock: kill whatever is
             # left (the container was destroyed on the way out) and report
@@ -369,14 +426,16 @@ class RaiWorker:
             self.system.monitor.incr("jobs_deadline_exceeded")
             self.system.monitor.log("job_deadline_exceeded", job_id=job.id,
                                     worker=self.id)
+            wspan.add_event("deadline_exceeded",
+                            deadline_s=self.config.job_deadline_seconds)
             self._record(job, status, exit_code, outputs, build_url,
-                         attempts=message.attempts)
+                         attempts=message.attempts, span=wspan)
         except Interrupt:
             if not self._crashed:
                 publish_log("stderr", "✗ worker shutting down mid-job\n")
                 status = JobStatus.FAILED
                 self._record(job, status, exit_code, outputs, build_url,
-                             attempts=message.attempts)
+                             attempts=message.attempts, span=wspan)
             raise
         finally:
             if status is JobStatus.SUCCEEDED:
@@ -385,8 +444,22 @@ class RaiWorker:
                 self.jobs_failed += 1
             if not self._crashed:
                 # A crashed worker cannot publish; its client keeps
-                # waiting until redelivery produces a real End.
-                publish("end", status=status.value, exit_code=exit_code)
+                # waiting until redelivery produces a real End.  The End
+                # message carries the publish span's context so the
+                # client-side delivery joins the trace.
+                end_span = tracer.start_span(
+                    "result.publish", parent=wspan, kind="worker",
+                    attributes={"status": status.value})
+                publish("end", status=status.value, exit_code=exit_code,
+                        _headers=end_span.headers())
+                end_span.end()
+            wspan.set_attribute("status", status.value)
+            # Safety net: ends whatever children an exceptional unwind
+            # (deadline, interrupt) left open, then the job span itself.
+            # A crash already ended the subtree with an error status.
+            tracer.end_subtree(wspan)
+            if wspan in self._active_spans:
+                self._active_spans.remove(wspan)
             producer.close()
             self.active_jobs -= 1
 
@@ -433,18 +506,23 @@ class RaiWorker:
                 f"job exceeded its "
                 f"{self.config.job_deadline_seconds:.0f}s deadline")
 
-    def _storage_call(self, label: str, fn, deadline, publish_log):
+    def _storage_call(self, label: str, fn, deadline, publish_log,
+                      span=None):
         """Run a storage operation under the worker's retry policy.
 
         Generator (``yield from`` it): backoff sleeps happen in simulated
         time.  Only :class:`TransientStorageError` is retried; permanent
         errors and the final transient failure propagate unaltered.
+        ``span`` (if given) gets a ``retry`` event per attempt.
         """
         policy = self.config.storage_retry
 
         def on_retry(attempt, exc):
             self._check_deadline(deadline)
             self.system.monitor.incr("storage_retries")
+            if span is not None:
+                span.add_event("retry", attempt=attempt,
+                               error=f"{type(exc).__name__}: {exc}")
             publish_log(
                 "stderr",
                 f"⚠ {label} failed ({exc}); "
@@ -473,19 +551,28 @@ class RaiWorker:
         return base + contention
 
     def _record(self, job: Job, status: JobStatus, exit_code,
-                outputs: List[tuple], build_url, attempts: int = 1) -> None:
+                outputs: List[tuple], build_url, attempts: int = 1,
+                span=None) -> bool:
         # At-least-once delivery means a job can be processed twice (e.g.
         # a premature stale-sweep redelivered it while the original worker
         # was still alive).  Recording is made effectively-once: whichever
         # delivery records first wins; later ones are suppressed so the
         # submissions collection and the ranking never double-count.
+        # Returns True when this call actually recorded.
+        record_span = self.system.tracer.start_span(
+            "docdb.record", parent=span, kind="docdb",
+            attributes={"collection": "submissions"}) if span is not None \
+            else None
         submissions = self.system.db.collection("submissions")
         if submissions.find_one({"job_id": job.id}) is not None:
             self.system.monitor.incr("duplicate_records_suppressed")
             self.system.monitor.log("duplicate_record_suppressed",
                                     job_id=job.id, worker=self.id,
                                     attempts=attempts)
-            return
+            if record_span is not None:
+                record_span.set_attribute("duplicate", True)
+                record_span.end()
+            return False
         stdout = "".join(t for s, t in outputs if s == "stdout")
         stderr = "".join(t for s, t in outputs if s == "stderr")
         elapsed = _ELAPSED_RE.findall(stdout)
@@ -526,3 +613,9 @@ class RaiWorker:
                 job_id=job.id,
                 at=self.sim.now,
             )
+            if record_span is not None:
+                record_span.add_event("ranking.recorded", team=job.team)
+        if record_span is not None:
+            record_span.set_attribute("duplicate", False)
+            record_span.end()
+        return True

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import copy
 import itertools
+from collections.abc import MutableMapping
 from typing import Any, Dict, List, Optional
 
 from repro.docdb.aggregate import run_pipeline
@@ -12,6 +13,51 @@ from repro.docdb.index import Index, RANGE_OPS, SortedIndex
 from repro.docdb.query import match_document, get_path, _MISSING
 from repro.docdb.update import apply_update
 from repro.errors import DocDbError, DuplicateKeyError
+from repro.obs.metrics import MetricsRegistry
+
+
+class PlannerStats(MutableMapping):
+    """Dict-shaped view of one collection's planner counters.
+
+    The numbers live in the shared metrics registry as ``planner_<stat>``
+    gauges labelled by collection, so the operator surface (snapshots,
+    the telemetry report) sees them alongside everything else; existing
+    code keeps reading and writing ``coll.planner_stats`` like the plain
+    dict it used to be (including resetting entries to zero — hence
+    gauges, not counters).
+    """
+
+    KEYS = ("index_hits", "range_hits", "scans", "docs_examined")
+
+    def __init__(self, metrics: MetricsRegistry, collection: str):
+        self._metrics = metrics
+        self._collection = collection
+        for key in self.KEYS:
+            self._gauge(key)
+
+    def _gauge(self, key: str):
+        if key not in self.KEYS:
+            raise KeyError(key)
+        return self._metrics.gauge(f"planner_{key}",
+                                   collection=self._collection)
+
+    def __getitem__(self, key: str) -> int:
+        return int(self._gauge(key).value)
+
+    def __setitem__(self, key: str, value) -> None:
+        self._gauge(key).set(value)
+
+    def __delitem__(self, key: str) -> None:
+        raise TypeError("planner stats keys are fixed")
+
+    def __iter__(self):
+        return iter(self.KEYS)
+
+    def __len__(self) -> int:
+        return len(self.KEYS)
+
+    def __repr__(self):
+        return f"PlannerStats({dict(self)!r})"
 
 
 class Collection:
@@ -26,9 +72,9 @@ class Collection:
         #: Access-path plan of the most recent find/update/delete/count —
         #: the write-path equivalent of ``Cursor.explain()``.
         self.last_plan: Optional[dict] = None
-        #: Cumulative planner activity (index hits vs scans, docs examined).
-        self.planner_stats = {"index_hits": 0, "range_hits": 0,
-                              "scans": 0, "docs_examined": 0}
+        #: Cumulative planner activity (index hits vs scans, docs
+        #: examined) — a dict-shaped view over registry gauges.
+        self.planner_stats = PlannerStats(db.metrics, name)
 
     # -- indexes ------------------------------------------------------------
 
@@ -253,9 +299,13 @@ class Collection:
 class DocumentDB:
     """The database: a namespace of collections (paper's MongoDB role)."""
 
-    def __init__(self, sim=None, name: str = "rai"):
+    def __init__(self, sim=None, name: str = "rai",
+                 metrics: Optional[MetricsRegistry] = None):
         self.sim = sim
         self.name = name
+        #: Registry backing the planner gauges (private when standalone,
+        #: the deployment-wide one when created by :class:`RaiSystem`).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._collections: Dict[str, Collection] = {}
 
     def collection(self, name: str) -> Collection:

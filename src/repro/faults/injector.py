@@ -166,7 +166,7 @@ class FaultInjector:
 
     # -- broker faults ----------------------------------------------------------
 
-    def _publish_with_faults(self, topic_name: str, body):
+    def _publish_with_faults(self, topic_name: str, body, headers=None):
         if not self._stopped:
             now = self.sim.now
             for fault in self.plan.broker_faults:
@@ -184,15 +184,16 @@ class FaultInjector:
                         fault.delay_range[0], fault.delay_range[1]))
                     self._fire("broker_delay", topic=topic_name,
                                seconds=delay)
-                    self.sim.process(
-                        self._delayed_publish(topic_name, body, delay))
+                    self.sim.process(self._delayed_publish(
+                        topic_name, body, delay, headers))
                     return None
-        return self._orig_publish(topic_name, body)
+        return self._orig_publish(topic_name, body, headers=headers)
 
-    def _delayed_publish(self, topic_name: str, body, delay: float):
+    def _delayed_publish(self, topic_name: str, body, delay: float,
+                         headers=None):
         yield self.sim.timeout(delay)
         if not self._stopped:
-            self._orig_publish(topic_name, body)
+            self._orig_publish(topic_name, body, headers=headers)
 
     # -- container kills ----------------------------------------------------------
 

@@ -1,0 +1,66 @@
+"""Trace identity and its wire representation.
+
+A :class:`TraceContext` is the minimal triple that lets spans created on
+different "machines" (client process, broker, worker executor) assemble
+into one tree: the trace they belong to, the span that emitted it, and
+that span's parent.  It crosses machine boundaries as a small dict of
+broker message *headers* — metadata beside the body, never inside it, so
+signed job payloads are untouched (kiwiPy's message-metadata channel).
+
+Ids are process-unique and deterministic (``trace-000001`` /
+``span-000001``), like message and job ids: the simulator's total event
+order is the only source of interleaving, so two runs with the same seed
+produce byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+_trace_counter = itertools.count(1)
+_span_counter = itertools.count(1)
+
+#: Header keys used on broker messages.
+TRACE_ID_HEADER = "trace_id"
+SPAN_ID_HEADER = "span_id"
+
+
+def new_trace_id() -> str:
+    return f"trace-{next(_trace_counter):06d}"
+
+
+def new_span_id() -> str:
+    return f"span-{next(_span_counter):06d}"
+
+
+def reset_obs_ids() -> None:
+    """Restart both id sequences (test isolation helper)."""
+    global _trace_counter, _span_counter
+    _trace_counter = itertools.count(1)
+    _span_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Immutable (trace_id, span_id, parent_id) triple."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+
+    def to_headers(self) -> dict:
+        """The dict carried in broker ``Message.headers``."""
+        return {TRACE_ID_HEADER: self.trace_id, SPAN_ID_HEADER: self.span_id}
+
+    @staticmethod
+    def from_headers(headers: Optional[Mapping]) -> Optional["TraceContext"]:
+        """Recover a context from message headers (None if absent)."""
+        if not headers:
+            return None
+        trace_id = headers.get(TRACE_ID_HEADER)
+        span_id = headers.get(SPAN_ID_HEADER)
+        if trace_id is None or span_id is None:
+            return None
+        return TraceContext(trace_id=trace_id, span_id=span_id)

@@ -1,0 +1,82 @@
+"""JSON / JSONL exporters for traces and metrics.
+
+Everything in ``repro.obs`` is JSON-trivial by construction (string ids,
+floats, flat dicts), so export is a straight dump — the operator can
+feed the output to jq, a trace viewer, or the analysis notebooks.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import Span
+from repro.obs.store import Trace, TraceStore
+
+
+def _scrub(value):
+    """JSON has no NaN/inf; exporters map them to None (recursively)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _scrub(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_scrub(v) for v in value]
+    return value
+
+
+def span_to_dict(span: Span) -> dict:
+    return span.to_dict()
+
+
+def trace_to_dict(trace: Trace) -> dict:
+    return {
+        "trace_id": trace.trace_id,
+        "job_ids": list(trace.job_ids),
+        "start": trace.start_time(),
+        "end": trace.end_time(),
+        "open_spans": trace.open_spans,
+        "spans": [s.to_dict() for s in trace.spans],
+    }
+
+
+def export_trace_json(trace: Trace, path: Optional[str] = None,
+                      indent: int = 2) -> str:
+    """One trace as a JSON document (optionally written to ``path``)."""
+    text = json.dumps(_scrub(trace_to_dict(trace)), indent=indent)
+    if path is not None:
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+    return text
+
+
+def export_spans_jsonl(source: Union[TraceStore, Trace, List[Span]],
+                       path: Optional[str] = None) -> str:
+    """Spans as JSONL, one span per line (stream-friendly).
+
+    Accepts a whole store, one trace, or a plain span list.
+    """
+    if isinstance(source, TraceStore):
+        spans = [s for t in source.traces() for s in t.spans]
+    elif isinstance(source, Trace):
+        spans = list(source.spans)
+    else:
+        spans = list(source)
+    lines = [json.dumps(_scrub(s.to_dict())) for s in spans]
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if path is not None:
+        with open(path, "w") as fh:
+            fh.write(text)
+    return text
+
+
+def export_metrics_json(registry: MetricsRegistry,
+                        path: Optional[str] = None, indent: int = 2) -> str:
+    """The registry snapshot as a JSON document."""
+    text = json.dumps(_scrub(registry.snapshot()), indent=indent)
+    if path is not None:
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+    return text

@@ -1,0 +1,287 @@
+"""A unified metrics registry: counters, gauges, histograms, labels.
+
+Before this module the repro's operational counters were islands —
+``Collection.planner_stats`` dicts, broker ``Counter`` objects, monitor
+counters — with no shared namespace, no labels, and no export path.  The
+registry is the single home: every series is ``(name, labels)``-keyed,
+snapshotable as JSON, and readable through thin legacy views
+(:class:`CounterGroup`, the planner-stats mapping) so existing accessors
+keep working unchanged.
+
+Three instrument kinds, Prometheus-shaped:
+
+- :class:`Counter` — monotonically increasing (``inc`` only);
+- :class:`Gauge` — settable up/down, optionally *callback-backed* so the
+  telemetry sampler and the operator report read live system state
+  (queue depth, in-flight messages) from one definition;
+- :class:`Histogram` — bucketed observations with count/sum/min/max and
+  an interpolated percentile estimate (latency distributions).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+#: Default latency buckets (simulated seconds): sub-second client work up
+#: to the 1-hour job deadline.
+DEFAULT_BUCKETS = (0.1, 0.5, 1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0,
+                   600.0, 1800.0, 3600.0)
+
+LabelsKey = Tuple[Tuple[str, str], ...]
+
+
+def _labels_key(labels: dict) -> LabelsKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Common identity for all instrument kinds."""
+
+    __slots__ = ("name", "labels")
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = dict(labels)
+
+    def __repr__(self):
+        label_text = ",".join(f"{k}={v}" for k, v in self.labels.items())
+        return (f"<{type(self).__name__} {self.name}"
+                f"{{{label_text}}} {self.describe()}>")
+
+    def describe(self) -> str:  # pragma: no cover - repr helper
+        return ""
+
+
+class Counter(Metric):
+    """Monotonically increasing value."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name: str, labels: dict):
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def describe(self) -> str:
+        return f"{self._value:g}"
+
+
+class Gauge(Metric):
+    """Settable value, optionally computed by a callback."""
+
+    __slots__ = ("_value", "fn")
+
+    def __init__(self, name: str, labels: dict,
+                 fn: Optional[Callable[[], float]] = None):
+        super().__init__(name, labels)
+        self._value = 0.0
+        self.fn = fn
+
+    def set(self, value: float) -> None:
+        if self.fn is not None:
+            raise ValueError(f"gauge {self.name!r} is callback-backed")
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self.fn is not None:
+            raise ValueError(f"gauge {self.name!r} is callback-backed")
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return float(self.fn()) if self.fn is not None else self._value
+
+    def describe(self) -> str:
+        return f"{self.value:g}"
+
+
+class Histogram(Metric):
+    """Bucketed observations (cumulative counts, Prometheus-style)."""
+
+    __slots__ = ("buckets", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, labels: dict,
+                 buckets: Tuple[float, ...] = DEFAULT_BUCKETS):
+        super().__init__(name, labels)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets = bounds + (math.inf,)
+        self.bucket_counts = [0] * len(self.buckets)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                break
+
+    @property
+    def value(self) -> float:
+        """The running mean (a histogram's one-number summary)."""
+        return self.sum / self.count if self.count else math.nan
+
+    def percentile(self, q: float) -> float:
+        """Estimated q-th percentile via linear in-bucket interpolation."""
+        if not self.count:
+            return math.nan
+        target = self.count * q / 100.0
+        cumulative = 0
+        lower = self.min if math.isfinite(self.min) else 0.0
+        for i, bound in enumerate(self.buckets):
+            in_bucket = self.bucket_counts[i]
+            if cumulative + in_bucket >= target:
+                upper = bound if math.isfinite(bound) else self.max
+                if in_bucket == 0:
+                    return upper
+                frac = (target - cumulative) / in_bucket
+                return lower + (upper - lower) * min(1.0, max(0.0, frac))
+            cumulative += in_bucket
+            lower = bound
+        return self.max  # pragma: no cover - target <= count always hits
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.value if self.count else None,
+            "p50": self.percentile(50) if self.count else None,
+            "p95": self.percentile(95) if self.count else None,
+            "buckets": {
+                ("inf" if math.isinf(b) else f"{b:g}"): c
+                for b, c in zip(self.buckets, self.bucket_counts)},
+        }
+
+    def describe(self) -> str:
+        return f"n={self.count}"
+
+
+class MetricsRegistry:
+    """All metric series of one deployment, keyed by (name, labels)."""
+
+    def __init__(self):
+        self._metrics: "Dict[Tuple[str, LabelsKey], Metric]" = {}
+
+    # -- instrument factories ------------------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, fn: Optional[Callable[[], float]] = None,
+              **labels) -> Gauge:
+        gauge = self._get_or_create(Gauge, name, labels, fn=fn)
+        if fn is not None and gauge.fn is None:
+            gauge.fn = fn
+        return gauge
+
+    def histogram(self, name: str,
+                  buckets: Optional[Tuple[float, ...]] = None,
+                  **labels) -> Histogram:
+        return self._get_or_create(Histogram, name, labels,
+                                   buckets=buckets or DEFAULT_BUCKETS)
+
+    def _get_or_create(self, cls, name: str, labels: dict, **kwargs):
+        key = (name, _labels_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = cls(name, labels, **kwargs)
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r}{labels or ''} is a "
+                f"{type(metric).__name__}, not a {cls.__name__}")
+        return metric
+
+    # -- queries ------------------------------------------------------------
+
+    def get(self, name: str, **labels) -> Optional[Metric]:
+        return self._metrics.get((name, _labels_key(labels)))
+
+    def value(self, name: str, **labels) -> float:
+        metric = self.get(name, **labels)
+        return metric.value if metric is not None else 0.0
+
+    def series(self, name: str) -> List[Metric]:
+        """Every labelled variant of ``name``."""
+        return [m for (n, _), m in self._metrics.items() if n == name]
+
+    def total(self, name: str) -> float:
+        """Sum of ``name`` across all label sets."""
+        return sum(m.value for m in self.series(name))
+
+    def gauges(self) -> Iterator[Gauge]:
+        return (m for m in self._metrics.values() if isinstance(m, Gauge))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump: ``{kind: {name: {label_text: value}}}``."""
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for metric in self._metrics.values():
+            label_text = ",".join(
+                f"{k}={v}" for k, v in sorted(metric.labels.items())) or ""
+            if isinstance(metric, Counter):
+                out["counters"].setdefault(metric.name, {})[label_text] = \
+                    metric.value
+            elif isinstance(metric, Histogram):
+                out["histograms"].setdefault(metric.name, {})[label_text] = \
+                    metric.to_dict()
+            else:
+                out["gauges"].setdefault(metric.name, {})[label_text] = \
+                    metric.value
+        return out
+
+
+class CounterGroup:
+    """Legacy ``sim.monitor.Counter``-shaped view over a registry.
+
+    Components that historically owned a private ``Counter`` (the broker,
+    the system monitor) keep their ``incr``/``get``/``as_dict`` surface;
+    the data now lives in the shared registry under ``prefix + name``.
+    """
+
+    def __init__(self, registry: MetricsRegistry, prefix: str = ""):
+        self.registry = registry
+        self.prefix = prefix
+
+    def incr(self, name: str, amount: float = 1) -> None:
+        self.registry.counter(self.prefix + name).inc(amount)
+
+    def get(self, name: str) -> float:
+        return self.registry.value(self.prefix + name)
+
+    def as_dict(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for (name, labels_key), metric in self.registry._metrics.items():
+            if labels_key or not isinstance(metric, Counter):
+                continue
+            if name.startswith(self.prefix):
+                out[name[len(self.prefix):]] = metric.value
+        return out

@@ -4,6 +4,7 @@ import pytest
 
 from repro.broker.message import reset_message_ids
 from repro.core.job import reset_job_ids
+from repro.obs.context import reset_obs_ids
 from repro.sim import Simulator
 
 
@@ -12,6 +13,7 @@ def _reset_global_counters():
     """Keep generated ids deterministic per-test."""
     reset_message_ids()
     reset_job_ids()
+    reset_obs_ids()
     yield
 
 

@@ -1,0 +1,119 @@
+"""Legacy counter surfaces are thin views over the metrics registry.
+
+Satellite of the obs PR: planner stats, monitor tallies, and broker
+counters all migrated onto :class:`MetricsRegistry`, but every
+pre-existing accessor (``coll.planner_stats``, ``monitor.incr``,
+``broker.counters``) must keep its old shape so nothing downstream
+notices the move.
+"""
+
+import pytest
+
+from repro.core.system import RaiSystem
+from repro.docdb.database import DocumentDB, PlannerStats
+from repro.obs.metrics import MetricsRegistry
+
+pytestmark = pytest.mark.obs
+
+FILES = {
+    "main.cu": "// @rai-sim quality=0.8 impl=analytic\n",
+    "CMakeLists.txt": "add_executable(ece408 main.cu)\n",
+}
+
+
+class TestPlannerStatsView:
+    def test_dict_surface(self):
+        registry = MetricsRegistry()
+        stats = PlannerStats(registry, "submissions")
+        stats["scans"] += 1
+        stats["scans"] += 1
+        stats["index_hits"] += 3
+        assert stats["scans"] == 2
+        assert dict(stats) == {"index_hits": 3, "range_hits": 0,
+                               "scans": 2, "docs_examined": 0}
+        assert len(stats) == 4
+
+    def test_reset_to_zero_supported(self):
+        # ranking rebuilds reset planner tallies — must stay writable.
+        registry = MetricsRegistry()
+        stats = PlannerStats(registry, "rankings")
+        stats["docs_examined"] += 10
+        stats["docs_examined"] = 0
+        assert stats["docs_examined"] == 0
+
+    def test_data_lives_in_registry_labelled(self):
+        registry = MetricsRegistry()
+        stats = PlannerStats(registry, "submissions")
+        stats["scans"] += 5
+        assert registry.value("planner_scans",
+                              collection="submissions") == 5
+        # A second collection is an independent labelled series.
+        other = PlannerStats(registry, "users")
+        other["scans"] += 2
+        assert registry.value("planner_scans", collection="users") == 2
+        assert registry.total("planner_scans") == 7
+
+    def test_unknown_key_raises(self):
+        stats = PlannerStats(MetricsRegistry(), "c")
+        with pytest.raises(KeyError):
+            stats["typo"]
+        with pytest.raises(KeyError):
+            stats["typo"] = 1
+
+    def test_keys_are_fixed(self):
+        stats = PlannerStats(MetricsRegistry(), "c")
+        with pytest.raises(TypeError):
+            del stats["scans"]
+
+    def test_docdb_aggregates_across_collections(self):
+        db = DocumentDB()
+        a = db.collection("a")
+        b = db.collection("b")
+        a.create_index("x")
+        a.insert_one({"x": 1})
+        b.insert_one({"y": 1})
+        a.find({"x": 1})      # index hit on a
+        b.find({"y": 1})      # collection scan on b
+        agg = db.planner_stats()
+        assert agg["index_hits"] >= 1
+        assert agg["scans"] >= 1
+        # The aggregate equals the sum of the labelled gauges.
+        assert agg["scans"] == db.metrics.total("planner_scans")
+
+
+class TestMonitorCountersInRegistry:
+    def test_incr_lands_in_system_registry(self):
+        system = RaiSystem.standard(num_workers=1, seed=11)
+        system.monitor.incr("jobs_submitted")
+        system.monitor.incr("jobs_submitted", 2)
+        assert system.metrics.value("jobs_submitted") == 3
+        assert system.monitor.counters.get("jobs_submitted") == 3
+        assert system.monitor.counters.as_dict()["jobs_submitted"] == 3
+
+    def test_worker_tallies_flow_through(self):
+        system = RaiSystem.standard(num_workers=1, seed=11)
+        client = system.new_client(team="views")
+        client.stage_project(FILES)
+        system.run(client.submit())
+        # Counters written deep in the worker are visible in the registry.
+        assert system.metrics.value("jobs_recorded") == 1
+        assert system.metrics.value("worker_fetch_bytes") > 0
+
+
+class TestBrokerCountersInRegistry:
+    def test_prefixed_series_and_legacy_property(self):
+        system = RaiSystem.standard(num_workers=1, seed=11)
+        client = system.new_client(team="views")
+        client.stage_project(FILES)
+        system.run(client.submit())
+        broker = system.broker
+        # Legacy accessors...
+        assert broker.counters.get("messages_published") > 0
+        assert broker.total_bytes_published > 0
+        # ...are views over the shared, prefixed registry series.
+        assert system.metrics.value("broker_messages_published") == \
+            broker.counters.get("messages_published")
+        assert system.metrics.value("broker_bytes_published") == \
+            broker.total_bytes_published
+        # And they sit in the SAME registry as monitor counters.
+        assert system.metrics.value("jobs_recorded") == 1

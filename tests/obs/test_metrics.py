@@ -1,0 +1,172 @@
+"""Unit tests for the unified metrics registry."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    CounterGroup,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class TestCounter:
+    def test_monotonic(self):
+        registry = MetricsRegistry()
+        c = registry.counter("jobs")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert registry.value("jobs") == 5
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("jobs")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labelled_series_are_independent(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", worker="w1").inc(3)
+        registry.counter("hits", worker="w2").inc(5)
+        assert registry.value("hits", worker="w1") == 3
+        assert registry.value("hits", worker="w2") == 5
+        assert registry.total("hits") == 8
+        assert len(registry.series("hits")) == 2
+
+    def test_label_order_irrelevant(self):
+        registry = MetricsRegistry()
+        registry.counter("x", a="1", b="2").inc()
+        assert registry.value("x", b="2", a="1") == 1
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(10)
+        g.dec(3)
+        g.inc(1)
+        assert g.value == 8
+
+    def test_callback_backed(self):
+        registry = MetricsRegistry()
+        state = {"n": 7}
+        g = registry.gauge("live", fn=lambda: state["n"])
+        assert g.value == 7
+        state["n"] = 9
+        assert g.value == 9
+        with pytest.raises(ValueError):
+            g.set(1)
+        with pytest.raises(ValueError):
+            g.inc()
+
+    def test_late_bound_callback(self):
+        registry = MetricsRegistry()
+        registry.gauge("live")
+        g = registry.gauge("live", fn=lambda: 42)
+        assert g.value == 42
+
+
+class TestHistogram:
+    def test_observe_and_summary(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 50.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(105.5)
+        assert h.min == 0.5
+        assert h.max == 50.0
+        assert h.value == pytest.approx(105.5 / 4)
+
+    def test_percentile_interpolates(self):
+        h = MetricsRegistry().histogram("lat", buckets=(10.0, 20.0, 30.0))
+        for v in (1.0, 11.0, 21.0, 29.0):
+            h.observe(v)
+        p50 = h.percentile(50)
+        assert 10.0 <= p50 <= 20.0
+        # Interpolation resolves to the bucket bound, not the exact max.
+        assert h.percentile(100) == pytest.approx(30.0)
+
+    def test_empty_percentile_nan(self):
+        h = MetricsRegistry().histogram("lat")
+        assert math.isnan(h.percentile(50))
+        assert math.isnan(h.value)
+
+    def test_to_dict_buckets(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        h.observe(99.0)
+        d = h.to_dict()
+        assert d["count"] == 3
+        assert d["buckets"]["1"] == 1
+        assert d["buckets"]["2"] == 1
+        assert d["buckets"]["inf"] == 1
+
+
+class TestRegistry:
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(TypeError):
+            registry.gauge("thing")
+        with pytest.raises(TypeError):
+            registry.histogram("thing")
+
+    def test_get_missing_returns_none_and_zero(self):
+        registry = MetricsRegistry()
+        assert registry.get("nope") is None
+        assert registry.value("nope") == 0.0
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c", k="v").inc(2)
+        registry.gauge("g").set(3)
+        registry.histogram("h").observe(1.0)
+        snap = registry.snapshot()
+        assert snap["counters"]["c"]["k=v"] == 2
+        assert snap["gauges"]["g"][""] == 3
+        assert snap["histograms"]["h"][""]["count"] == 1
+
+    def test_len_and_iter(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.gauge("b")
+        assert len(registry) == 2
+        assert {m.name for m in registry} == {"a", "b"}
+
+    def test_gauges_iterator(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.gauge("b")
+        registry.gauge("c", collection="x")
+        gauges = list(registry.gauges())
+        assert all(isinstance(g, Gauge) for g in gauges)
+        assert {g.name for g in gauges} == {"b", "c"}
+
+
+class TestCounterGroup:
+    def test_legacy_surface(self):
+        registry = MetricsRegistry()
+        group = CounterGroup(registry, prefix="broker_")
+        group.incr("published")
+        group.incr("published", 2)
+        group.incr("bytes", 100)
+        assert group.get("published") == 3
+        assert group.get("missing") == 0
+        assert group.as_dict() == {"published": 3, "bytes": 100}
+        # The data actually lives in the shared registry, prefixed.
+        assert registry.value("broker_published") == 3
+
+    def test_unprefixed_group_excludes_other_kinds(self):
+        registry = MetricsRegistry()
+        group = CounterGroup(registry)
+        group.incr("jobs")
+        registry.gauge("depth").set(5)
+        registry.counter("labelled", k="v").inc()
+        # Gauges and labelled counters don't leak into the legacy dict.
+        assert group.as_dict() == {"jobs": 1}

@@ -1,0 +1,192 @@
+"""End-to-end tracing: one submission = one trace across every tier."""
+
+import json
+
+import pytest
+
+from repro.core.cli import RaiCLI
+from repro.core.config import SystemConfig
+from repro.core.job import JobStatus
+from repro.core.system import RaiSystem
+from repro.obs.export import (
+    export_metrics_json,
+    export_spans_jsonl,
+    export_trace_json,
+)
+from repro.obs.waterfall import (
+    critical_path,
+    critical_path_report,
+    render_trace_report,
+)
+
+pytestmark = pytest.mark.obs
+
+FILES = {
+    "main.cu": "// @rai-sim quality=0.8 impl=analytic\nint main(){}\n",
+    "CMakeLists.txt": "add_executable(ece408 main.cu)\n",
+}
+
+
+@pytest.fixture
+def traced_run():
+    system = RaiSystem.standard(num_workers=1, seed=21)
+    client = system.new_client(team="trace-team")
+    client.stage_project(FILES)
+    result = system.run(client.submit())
+    assert result.status is JobStatus.SUCCEEDED
+    return system, result
+
+
+class TestSingleSubmissionTrace:
+    def test_one_trace_covers_every_tier(self, traced_run):
+        system, result = traced_run
+        trace = system.tracer.trace_for_job(result.job_id)
+        assert trace is not None
+        names = {s.name for s in trace.spans}
+        # client → broker → worker → container → storage → docdb.
+        assert {"client.submit", "client.upload", "client.publish",
+                "broker.deliver", "worker.job", "buildspec.parse",
+                "storage.get", "container.run", "container.exec",
+                "storage.put", "docdb.record",
+                "result.publish"} <= names
+        # Exactly one trace for the whole submission.
+        assert len({s.trace_id for s in trace.spans}) == 1
+
+    def test_parent_child_nesting(self, traced_run):
+        system, result = traced_run
+        trace = system.tracer.trace_for_job(result.job_id)
+
+        def parent_of(span):
+            return trace.span(span.parent_id)
+
+        root = trace.root()
+        assert root.name == "client.submit"
+        assert root.parent_id is None
+
+        publish = trace.find("client.publish")[0]
+        assert parent_of(publish) is root
+
+        deliver = trace.find("broker.deliver")[0]
+        assert parent_of(deliver) is publish
+
+        worker_job = trace.find("worker.job")[0]
+        assert parent_of(worker_job) is deliver
+
+        for name in ("buildspec.parse", "storage.get", "container.run",
+                     "storage.put", "docdb.record", "result.publish"):
+            assert parent_of(trace.find(name)[0]) is worker_job, name
+
+        for exec_span in trace.find("container.exec"):
+            assert parent_of(exec_span).name == "container.run"
+
+    def test_sim_clock_timestamps(self, traced_run):
+        system, result = traced_run
+        trace = system.tracer.trace_for_job(result.job_id)
+        root = trace.root()
+        for span in trace.spans:
+            assert not span.is_open
+            assert span.end_time >= span.start_time
+            assert span.start_time >= root.start_time
+            assert span.end_time <= root.end_time
+        # The trace spans real simulated time, not wall-clock zero.
+        assert root.duration > 1.0
+
+    def test_key_attributes_and_events(self, traced_run):
+        system, result = traced_run
+        trace = system.tracer.trace_for_job(result.job_id)
+        worker_job = trace.find("worker.job")[0]
+        assert worker_job.attributes["job_id"] == result.job_id
+        assert worker_job.attributes["attempt"] == 1
+        assert worker_job.attributes["status"] == "succeeded"
+        upload = trace.find("client.upload")[0]
+        assert any(e[1] == "chunk.negotiation" for e in upload.events)
+        for exec_span in trace.find("container.exec"):
+            assert exec_span.attributes["exit_code"] == 0
+
+    def test_critical_path_identifies_dominant_stage(self, traced_run):
+        system, result = traced_run
+        trace = system.tracer.trace_for_job(result.job_id)
+        path = critical_path(trace)
+        assert path[0].name == "client.submit"
+        assert "worker.job" in [s.name for s in path]
+        report = critical_path_report(trace)
+        # The cold image pull dominates this run, and it is worker time —
+        # not mis-attributed to the waiting client.
+        assert report["dominant"]["name"] == "worker.job"
+        assert report["total_s"] == pytest.approx(
+            trace.end_time() - trace.start_time())
+
+    def test_render_and_cli(self, traced_run):
+        system, result = traced_run
+        text = render_trace_report(system.tracer.trace_for_job(result.job_id))
+        assert "client.submit" in text
+        assert "critical path" in text
+        assert "◀ dominant" in text
+
+        client = system.new_client(team="cli-team")
+        client.stage_project(FILES)
+        cli = RaiCLI(system, client)
+        cli.run_command("rai run")
+        out = cli.run_command("rai trace")
+        assert "worker.job" in out
+        by_id = cli.run_command(f"rai trace {result.job_id}")
+        assert result.job_id in by_id
+        assert "no trace recorded" in cli.run_command("rai trace job-999999")
+
+    def test_exporters_produce_valid_json(self, traced_run, tmp_path):
+        system, result = traced_run
+        trace = system.tracer.trace_for_job(result.job_id)
+
+        trace_path = tmp_path / "trace.json"
+        export_trace_json(trace, path=str(trace_path))
+        doc = json.loads(trace_path.read_text())
+        assert doc["trace_id"] == trace.trace_id
+        assert len(doc["spans"]) == len(trace.spans)
+
+        jsonl_path = tmp_path / "spans.jsonl"
+        export_spans_jsonl(system.tracer.store, path=str(jsonl_path))
+        lines = [json.loads(line) for line in
+                 jsonl_path.read_text().splitlines()]
+        assert len(lines) == len(trace.spans)
+
+        metrics_path = tmp_path / "metrics.json"
+        export_metrics_json(system.metrics, path=str(metrics_path))
+        snap = json.loads(metrics_path.read_text())
+        assert snap["counters"]["jobs_submitted"][""] == 1
+        assert "broker_messages_published" in snap["counters"]
+
+
+class TestTracingDisabled:
+    def test_disabled_records_nothing_same_outcome(self):
+        config = SystemConfig(tracing_enabled=False)
+        system = RaiSystem.standard(num_workers=1, seed=21, config=config)
+        client = system.new_client(team="trace-team")
+        client.stage_project(FILES)
+        result = system.run(client.submit())
+        assert result.status is JobStatus.SUCCEEDED
+        assert len(system.tracer.store) == 0
+        assert system.tracer.trace_for_job(result.job_id) is None
+        cli = RaiCLI(system, client)
+        assert "disabled" in cli.run_command(f"rai trace {result.job_id}")
+
+
+class TestRegistryFeedsSystem:
+    def test_gauges_and_broker_counters_share_registry(self, traced_run):
+        system, result = traced_run
+        # The six deployment gauges exist and are callback-backed.
+        for name in ("queue_depth", "workers_running", "jobs_active",
+                     "storage_bytes", "in_flight", "dead_letters"):
+            gauge = system.metrics.get(name)
+            assert gauge is not None and gauge.fn is not None, name
+        assert system.metrics.value("workers_running") == 1
+        # Broker tallies live in the same registry, prefixed.
+        assert system.metrics.value("broker_messages_published") > 0
+        assert system.broker.total_bytes_published == \
+            system.metrics.value("broker_bytes_published")
+        # Span creation feeds obs counters.
+        assert system.metrics.value("obs_spans_started") == \
+            system.tracer.store.total_spans
+        assert system.metrics.value("obs_traces_started") == 1
+        # The submit latency histogram observed the run.
+        hist = system.metrics.get("job_turnaround_seconds")
+        assert hist.count == 1
