@@ -73,6 +73,25 @@ class Consumer:
         evt.callbacks.insert(0, self._channel._on_deliver)
         return evt
 
+    def try_get(self) -> Optional[Message]:
+        """Claim an already-queued message without blocking, or None.
+
+        The worker prefetch path: after finishing a job, a consumer drains
+        ``ready_count`` messages synchronously before parking on
+        :meth:`get` again.  Filtered consumers always return None (the
+        filter needs the event machinery's matching path).
+        """
+        if self._closed:
+            raise RuntimeError("consumer is closed")
+        if self._filter is not None:
+            return None
+        return self._channel.try_deliver()
+
+    @property
+    def ready_count(self) -> int:
+        """Messages this consumer could claim right now via :meth:`try_get`."""
+        return self._channel.ready_count
+
     def cancel(self, get_event) -> None:
         """Withdraw a pending :meth:`get` safely.
 

@@ -31,11 +31,32 @@ class Channel(Store):
         self.total_acked = 0
         self.total_requeued = 0
         self.total_dead_lettered = 0
+        self.total_prefetched = 0
+        #: Optional dequeue policy (e.g. :class:`repro.sched.JobScheduler`):
+        #: ``select(items) -> index`` reorders the queue on dequeue,
+        #: ``note_dispatch(msg)`` observes every claimed message.
+        self.scheduler = None
 
     @property
     def depth(self) -> int:
         """Queued (not yet delivered) message count."""
         return len(self.items)
+
+    @property
+    def ready_count(self) -> int:
+        """Messages claimable *right now* without blocking — the prefetch
+        signal: a worker finishing a job can drain this many more before
+        going back to sleep on ``deliver()``."""
+        return len(self.items)
+
+    def _pop_next(self) -> Message:
+        if self.scheduler is not None and len(self.items) > 1:
+            index = self.scheduler.select(self.items)
+            if 0 < index < len(self.items):
+                item = self.items[index]
+                del self.items[index]
+                return item
+        return self.items.popleft()
 
     def deliver(self) -> "StoreGetWrapper":
         """Event yielding the next message; marks it in-flight on fire."""
@@ -43,18 +64,38 @@ class Channel(Store):
         get_event.callbacks.insert(0, self._on_deliver)
         return get_event
 
+    def try_deliver(self) -> Optional[Message]:
+        """Claim the next message synchronously, or None.
+
+        The prefetch path: bypasses the event machinery when a message is
+        already queued, so a worker can pull a batch per wakeup instead of
+        paying one scheduler round-trip per message.  Never steals from a
+        blocked ``deliver()`` — returns None while gets are pending.
+        """
+        if not self.items or self._gets:
+            return None
+        msg = self._pop_next()
+        self.total_prefetched += 1
+        self._mark_delivered(msg)
+        return msg
+
     def _on_deliver(self, event) -> None:
         msg: Message = event.value
         if msg is None:
             # The get was cancelled (consumer shut down) before a message
             # arrived; nothing to mark in-flight.
             return
+        self._mark_delivered(msg)
+
+    def _mark_delivered(self, msg: Message) -> None:
         msg.attempts += 1
         msg.delivered_at = self.sim.now
         msg._channel = self
         self.in_flight[msg.id] = msg
         self.total_delivered += 1
         self._trace_delivery(msg)
+        if self.scheduler is not None:
+            self.scheduler.note_dispatch(msg)
 
     def _trace_delivery(self, msg: Message) -> None:
         """Span the publish → claim gap for trace-carrying messages.
@@ -128,6 +169,7 @@ class Channel(Store):
             "delivered": self.total_delivered,
             "acked": self.total_acked,
             "requeued": self.total_requeued,
+            "prefetched": self.total_prefetched,
             "dead_letters": len(self.dead_letters),
             "dead_lettered_total": self.total_dead_lettered,
         }

@@ -76,7 +76,8 @@ class AutoscalerPolicy:
 
     min_instances: int = 1
     max_instances: int = 30
-    #: Scale out when queued jobs per live worker exceed this.
+    #: Legacy queue-depth trigger, superseded by utilisation + wait EWMA
+    #: (kept so saved policies keep constructing).
     scale_out_per_worker: float = 2.0
     #: Scale in when the whole queue is below this and utilisation is low.
     scale_in_queue_depth: int = 0
@@ -88,10 +89,23 @@ class AutoscalerPolicy:
     step: int = 2
     #: Minimum seconds between scale-in actions (billing hysteresis).
     scale_in_cooldown: float = 1800.0
+    #: Scale out when live-slot occupancy reaches this fraction with work
+    #: still queued (raw depth lies when jobs are long; busy slots don't).
+    scale_out_utilization: float = 0.85
+    #: Scale out while the scheduler's queue-wait EWMA exceeds this many
+    #: seconds; scale-in additionally requires the EWMA to have cooled
+    #: below half of it (hysteresis).
+    target_wait_seconds: float = 60.0
 
 
 class Autoscaler:
-    """Periodically sizes the fleet to the task-queue depth."""
+    """Periodically sizes the fleet to slot utilisation + queue-wait EWMA.
+
+    Each tick gathers a :meth:`signals` snapshot, feeds it to the pure
+    decision function :meth:`_decide`, and applies the result.  Crashed
+    workers (fault injection, spot reclaim) are reaped first so their
+    instances stop counting toward the floor and billing.
+    """
 
     def __init__(self, system, provisioner: Provisioner,
                  policy: Optional[AutoscalerPolicy] = None):
@@ -108,50 +122,113 @@ class Autoscaler:
 
     def run(self):
         """Kernel process: evaluate the policy every ``check_interval``."""
-        policy = self.policy
         while not self._stopped:
-            self._ensure_minimum()
-            depth = self.system.queue_depth()
-            live = [i for i in self.provisioner.live_instances]
-            n_live = len(live)
-            workers = [i.worker for i in live if i.worker is not None]
-            active = sum(w.active_jobs for w in workers)
-            capacity = sum(w.config.max_concurrent_jobs for w in workers)
+            self._reap_crashed()
+            signals = self.signals()
+            decision = self._decide(signals)
+            if decision is not None:
+                self._apply(decision, signals)
+            yield self.sim.timeout(self.policy.check_interval)
 
-            if n_live < policy.max_instances and n_live > 0 and \
-                    depth > policy.scale_out_per_worker * n_live:
-                add = min(policy.step, policy.max_instances - n_live)
-                self.provisioner.launch_many(
-                    add, instance_type=policy.instance_type,
-                    max_concurrent_jobs=policy.max_concurrent_jobs)
-                self._decide("scale-out", add, depth, n_live)
-            elif (n_live > policy.min_instances
-                  and depth <= policy.scale_in_queue_depth
-                  and capacity > 0
-                  and active / capacity <= 1 - policy.scale_in_idle_fraction
-                  and self.sim.now - self._last_scale_in
-                  >= policy.scale_in_cooldown):
-                remove = min(policy.step, n_live - policy.min_instances)
-                removed = self.provisioner.terminate_count(remove)
-                if removed:
-                    self._last_scale_in = self.sim.now
-                    self._decide("scale-in", removed, depth, n_live)
-            yield self.sim.timeout(policy.check_interval)
+    # -- signal gathering ---------------------------------------------------
 
-    def _ensure_minimum(self) -> None:
-        deficit = self.policy.min_instances - len(self.provisioner.live_instances)
-        if deficit > 0:
+    def signals(self) -> dict:
+        """One snapshot of everything :meth:`_decide` looks at."""
+        live = self.provisioner.live_instances
+        workers = [i.worker for i in live if i.worker is not None]
+        healthy = [w for w in workers if w.is_running]
+        active = sum(w.active_jobs for w in healthy)
+        capacity = sum(w.slot_count for w in healthy)
+        sched = getattr(self.system, "scheduler", None)
+        return {
+            "now": self.sim.now,
+            "n_live": len(live),
+            "n_healthy": len(healthy),
+            "depth": self.system.queue_depth(),
+            "active": active,
+            "capacity": capacity,
+            "occupancy": active / capacity if capacity else 0.0,
+            "wait_ewma": sched.wait_ewma() if sched is not None else 0.0,
+            "since_scale_in": self.sim.now - self._last_scale_in,
+        }
+
+    def _reap_crashed(self) -> int:
+        """Terminate instances whose worker died outside the provisioner.
+
+        A fault-injected crash stops the worker but leaves the instance
+        "live" (and billing); reaping it lets the min-floor rule replace
+        the lost capacity on the same tick.
+        """
+        reaped = 0
+        for inst in self.provisioner.live_instances:
+            worker = inst.worker
+            if worker is not None and not worker.is_running:
+                self.provisioner.terminate(inst)
+                reaped += 1
+        if reaped:
+            self._record_decision("reap-crashed", reaped, self.signals())
+        return reaped
+
+    # -- the decision function ----------------------------------------------
+
+    def _decide(self, signals: dict) -> Optional[tuple]:
+        """Pure policy: signals snapshot → ``(action, count)`` or None.
+
+        Rules, first match wins:
+
+        1. **min floor** — below ``min_instances`` live instances
+           (booting ones count; reaped ones no longer do): launch the
+           deficit.
+        2. **scale out** (capped at ``max_instances``, work queued):
+           cold start (zero usable slots anywhere), occupancy at/over
+           ``scale_out_utilization``, or queue-wait EWMA over
+           ``target_wait_seconds``.
+        3. **scale in** — queue at/below ``scale_in_queue_depth``,
+           occupancy at/below ``1 - scale_in_idle_fraction``, wait EWMA
+           cooled below half the target, and the cooldown elapsed.
+        """
+        policy = self.policy
+        n_live = signals["n_live"]
+        depth = signals["depth"]
+        if n_live < policy.min_instances:
+            return ("ensure-min", policy.min_instances - n_live)
+        if n_live < policy.max_instances and depth > 0:
+            room = policy.max_instances - n_live
+            if signals["capacity"] == 0 \
+                    or signals["occupancy"] >= policy.scale_out_utilization \
+                    or signals["wait_ewma"] > policy.target_wait_seconds:
+                return ("scale-out", min(policy.step, room))
+        if (n_live > policy.min_instances
+                and depth <= policy.scale_in_queue_depth
+                and signals["capacity"] > 0
+                and signals["occupancy"] <= 1 - policy.scale_in_idle_fraction
+                and signals["wait_ewma"] < policy.target_wait_seconds / 2
+                and signals["since_scale_in"] >= policy.scale_in_cooldown):
+            return ("scale-in",
+                    min(policy.step, n_live - policy.min_instances))
+        return None
+
+    def _apply(self, decision: tuple, signals: dict) -> None:
+        action, count = decision
+        if action in ("ensure-min", "scale-out"):
             self.provisioner.launch_many(
-                deficit, instance_type=self.policy.instance_type,
+                count, instance_type=self.policy.instance_type,
                 max_concurrent_jobs=self.policy.max_concurrent_jobs)
-            self._decide("ensure-min", deficit, self.system.queue_depth(), 0)
+            self._record_decision(action, count, signals)
+        elif action == "scale-in":
+            removed = self.provisioner.terminate_count(count)
+            if removed:
+                self._last_scale_in = self.sim.now
+                self._record_decision(action, removed, signals)
 
-    def _decide(self, action: str, count: int, depth: int,
-                n_live: int) -> None:
+    def _record_decision(self, action: str, count: int,
+                         signals: dict) -> None:
         self.decisions.append({
             "t": self.sim.now,
             "action": action,
             "count": count,
-            "queue_depth": depth,
-            "live_before": n_live,
+            "queue_depth": signals["depth"],
+            "live_before": signals["n_live"],
+            "occupancy": signals["occupancy"],
+            "wait_ewma": signals["wait_ewma"],
         })

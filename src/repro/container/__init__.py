@@ -20,14 +20,17 @@ covering the coreutils, the CMake/Make toolchain, ``/usr/bin/time``,
 """
 
 from repro.container.limits import ResourceLimits
-from repro.container.image import Image, ImageRegistry, default_registry
+from repro.container.image import (Image, ImageLayer, ImageRegistry,
+                                   default_registry)
 from repro.container.volumes import VolumeMount, cuda_volume
 from repro.container.container import Container, ContainerState, ExecResult
 from repro.container.runtime import ContainerRuntime
+from repro.container.pool import WarmContainerPool
 
 __all__ = [
     "ResourceLimits",
     "Image",
+    "ImageLayer",
     "ImageRegistry",
     "default_registry",
     "VolumeMount",
@@ -36,4 +39,5 @@ __all__ = [
     "ContainerState",
     "ExecResult",
     "ContainerRuntime",
+    "WarmContainerPool",
 ]

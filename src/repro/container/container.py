@@ -169,6 +169,15 @@ class Container:
         Container._id_counter += 1
         self.id = f"container-{Container._id_counter:06d}"
         self.image = image
+        self._clock = clock
+        #: Lifetime reuse count (0 for a fresh container; bumped by
+        #: :meth:`recycle` when the warm pool hands it to a new job).
+        self.generation = 0
+        self._provision(limits, mounts, gpu_device, on_output)
+
+    def _provision(self, limits: ResourceLimits, mounts, gpu_device,
+                   on_output) -> None:
+        """(Re)build the job-facing state: fs, env, limits, streams."""
         self.limits = limits
         self.state = ContainerState.CREATED
         self.on_output = on_output
@@ -187,10 +196,10 @@ class Container:
         }
         self.gpu_device = gpu_device
 
-        self.fs = VirtualFileSystem(clock=clock)
+        self.fs = VirtualFileSystem(clock=self._clock)
         # Base image content.
-        if image is not None and image.fs_template:
-            self.fs.import_mapping(image.fs_template, "/")
+        if self.image is not None and self.image.fs_template:
+            self.fs.import_mapping(self.image.fs_template, "/")
         self.fs.makedirs("/build")
         self.fs.makedirs("/tmp")
         for mount in mounts:
@@ -254,6 +263,44 @@ class Container:
     def stop(self) -> None:
         if self.state is ContainerState.RUNNING:
             self.state = ContainerState.EXITED
+
+    def scrub(self) -> None:
+        """Reset-on-return sanitisation for warm-pool parking.
+
+        Drops every trace of the last job — filesystem (with its /src and
+        /build trees), environment, output sink, timing hooks — while
+        keeping the container itself alive for reuse.  A parked container
+        holds no tenant data; :meth:`recycle` rebuilds pristine state from
+        the image template for the next job.
+        """
+        if self.state is ContainerState.DESTROYED:
+            raise ContainerStateError("cannot scrub a destroyed container")
+        if self.state is ContainerState.RUNNING:
+            self.state = ContainerState.EXITED
+        self.fs = None
+        self._context = None
+        self._shell = None
+        self.on_output = None
+        self.time_dilation = None
+        self.env = {}
+        self.exit_reason = None
+        self.peak_memory = 0.0
+        self.lifetime_used = 0.0
+
+    def recycle(self, limits: ResourceLimits, mounts, gpu_device=None,
+                on_output: Optional[Callable[[str, str], None]] = None
+                ) -> None:
+        """Reprovision a scrubbed container for a new job.
+
+        Equivalent to creating a fresh container from the same image
+        (fresh ``/src``/``/build`` mounts, default env, zeroed limits
+        accounting) without paying the engine's create cost — the warm
+        pool's whole point.
+        """
+        if self.state is ContainerState.DESTROYED:
+            raise ContainerStateError("cannot recycle a destroyed container")
+        self.generation += 1
+        self._provision(limits, mounts, gpu_device, on_output)
 
     def destroy(self) -> None:
         self.state = ContainerState.DESTROYED

@@ -18,6 +18,23 @@ from repro.gpu.hdf5sim import write_h5s
 from repro.gpu.kernels import FULL_DATASET_SIZE, SMALL_DATASET_SIZE
 
 
+@dataclass(frozen=True)
+class ImageLayer:
+    """One content-addressed slice of an image.
+
+    Layers are the unit of the registry pull: a worker that already holds
+    a layer (because another whitelisted image shares it) never transfers
+    it again — pull cost is the *missing* layer bytes only.
+    """
+
+    digest: str                    # e.g. "sha256:cuda-base"
+    size_bytes: int
+
+    def __post_init__(self):
+        if self.size_bytes < 0:
+            raise ValueError("layer size must be >= 0")
+
+
 @dataclass
 class Image:
     """A container base image."""
@@ -27,9 +44,22 @@ class Image:
     packages: List[str] = field(default_factory=list)
     #: Files materialised into every container created from this image.
     fs_template: Dict[str, bytes] = field(default_factory=dict)
+    #: Declared layer manifest.  Empty means "one opaque layer of
+    #: ``size_bytes``" (the pre-layer-cache behaviour); declared layers
+    #: should sum to ``size_bytes`` so pull accounting stays honest.
+    layers: List[ImageLayer] = field(default_factory=list)
+
+    def effective_layers(self) -> List[ImageLayer]:
+        """The layer manifest, synthesising a single whole-image layer
+        for images that declare none."""
+        if self.layers:
+            return list(self.layers)
+        return [ImageLayer(digest=f"sha256:whole:{self.name}",
+                           size_bytes=self.size_bytes)]
 
     def pull_seconds(self, bandwidth_bps: float = 100e6) -> float:
-        return self.size_bytes / bandwidth_bps
+        return sum(l.size_bytes for l in self.effective_layers()) \
+            / bandwidth_bps
 
 
 class ImageRegistry:
@@ -106,6 +136,13 @@ def course_data_files(full_size: int = FULL_DATASET_SIZE,
     return dict(_COURSE_DATA_CACHE[key])
 
 
+#: The CUDA runtime + toolkit base shared by every whitelisted course
+#: image.  Declaring it once means a worker that pulled *any* course image
+#: pays only the per-image top layers for the others.
+CUDA_BASE_LAYER = ImageLayer(digest="sha256:cuda-8.0-base",
+                             size_bytes=768 * 1024 ** 2)
+
+
 def default_registry() -> ImageRegistry:
     """The registry used by the Applied Parallel Programming course."""
     registry = ImageRegistry()
@@ -116,12 +153,22 @@ def default_registry() -> ImageRegistry:
         packages=["cuda-8.0", "cudnn-5.1", "cmake", "make",
                   "libhdf5", "tensorflow", "torch7"],
         fs_template=data,
+        layers=[
+            CUDA_BASE_LAYER,
+            ImageLayer(digest="sha256:rai-frameworks",
+                       size_bytes=4 * 1024 ** 3 - CUDA_BASE_LAYER.size_bytes),
+        ],
     ))
     registry.add(Image(
         name="webgpu/rai:minimal",
         size_bytes=1 * 1024 ** 3,
         packages=["cuda-8.0", "cmake", "make", "libhdf5"],
         fs_template=data,
+        layers=[
+            CUDA_BASE_LAYER,
+            ImageLayer(digest="sha256:rai-buildtools",
+                       size_bytes=1 * 1024 ** 3 - CUDA_BASE_LAYER.size_bytes),
+        ],
     ))
     # Present in the repository but NOT whitelisted for the course — used
     # by tests to prove whitelist enforcement.

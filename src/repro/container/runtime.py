@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Set
 
 from repro.container.container import Container
-from repro.container.image import ImageRegistry, default_registry
+from repro.container.image import Image, ImageRegistry, default_registry
 from repro.container.limits import ResourceLimits
 from repro.container.volumes import VolumeMount
 
@@ -13,10 +13,13 @@ from repro.container.volumes import VolumeMount
 class ContainerRuntime:
     """Per-worker Docker-engine stand-in.
 
-    Tracks a local image cache: the first job needing an image pays the
-    registry pull ("if the machine does not have the Docker image, then
-    it's pulled from the Docker repository", §V Worker Operations step 3);
-    later jobs on the same worker start instantly.
+    Tracks a *layer-addressed* local image cache: the first job needing an
+    image pays the registry pull ("if the machine does not have the Docker
+    image, then it's pulled from the Docker repository", §V Worker
+    Operations step 3) — but only for the layers this engine has never
+    seen.  Whitelisted course images share their CUDA base layer, so a
+    worker that already pulled one image starts the others after
+    transferring just their unique top layers.
     """
 
     def __init__(self, registry: Optional[ImageRegistry] = None,
@@ -25,17 +28,39 @@ class ContainerRuntime:
         self.registry = registry if registry is not None else default_registry()
         self.pull_bandwidth_bps = pull_bandwidth_bps
         self.clock = clock
-        self._image_cache: set = set()
+        self._layer_cache: Set[str] = set()
+        self._layer_cache_bytes = 0
+        self._pulled_images: Set[str] = set()
         self.containers: List[Container] = []
         self.total_created = 0
         self.total_destroyed = 0
+        self.total_bytes_pulled = 0
+        self.total_bytes_pull_saved = 0
+
+    def missing_layer_bytes(self, image: Image) -> int:
+        """Bytes of ``image`` this engine has not yet pulled."""
+        return sum(layer.size_bytes for layer in image.effective_layers()
+                   if layer.digest not in self._layer_cache)
 
     def pull_cost_seconds(self, image_name: str) -> float:
-        """Seconds the next ``create_container`` will spend pulling."""
-        if image_name in self._image_cache:
-            return 0.0
+        """Seconds the next ``create_container`` will spend pulling.
+
+        Only missing layer bytes count: shared base layers already held
+        (from this or any other whitelisted image) transfer nothing.
+        """
         image = self.registry.get(image_name)
-        return image.pull_seconds(self.pull_bandwidth_bps)
+        return self.missing_layer_bytes(image) / self.pull_bandwidth_bps
+
+    def _pull(self, image: Image) -> None:
+        """Account the pull: cache every layer, tally hit/miss bytes."""
+        for layer in image.effective_layers():
+            if layer.digest in self._layer_cache:
+                self.total_bytes_pull_saved += layer.size_bytes
+            else:
+                self._layer_cache.add(layer.digest)
+                self._layer_cache_bytes += layer.size_bytes
+                self.total_bytes_pulled += layer.size_bytes
+        self._pulled_images.add(image.name)
 
     def create_container(self, image_name: str,
                          limits: Optional[ResourceLimits] = None,
@@ -49,7 +74,7 @@ class ContainerRuntime:
         committed.
         """
         image = self.registry.get(image_name)
-        self._image_cache.add(image_name)
+        self._pull(image)
         container = Container(
             image=image,
             limits=limits or ResourceLimits(),
@@ -77,5 +102,9 @@ class ContainerRuntime:
             "created": self.total_created,
             "destroyed": self.total_destroyed,
             "live": self.live_count,
-            "cached_images": sorted(self._image_cache),
+            "cached_images": sorted(self._pulled_images),
+            "cached_layers": len(self._layer_cache),
+            "cached_layer_bytes": self._layer_cache_bytes,
+            "bytes_pulled": self.total_bytes_pulled,
+            "bytes_pull_saved": self.total_bytes_pull_saved,
         }

@@ -28,7 +28,7 @@ class RaiCLI:
     """Parses ``rai <subcommand>`` strings and drives a client."""
 
     SUBCOMMANDS = ("run", "submit", "ranking", "history", "download",
-                   "stats", "trace", "version", "help")
+                   "stats", "top", "trace", "version", "help")
 
     def __init__(self, system, client: RaiClient):
         self.system = system
@@ -112,6 +112,55 @@ class RaiCLI:
         from repro.core.telemetry import health_report
 
         return health_report(self.system) + "\n"
+
+    def _cmd_top(self, args: List[str]) -> str:
+        """``rai top`` — one-screen scheduler/executor snapshot: queue
+        depth, scheduler wait percentiles, and per-worker slot occupancy
+        plus warm-pool hit rates, all read off the metrics registry."""
+        import math
+
+        from repro.analysis.report import render_table
+
+        system = self.system
+        wait = system.metrics.histogram("sched_queue_wait_seconds")
+
+        def fmt(value) -> str:
+            return "-" if value is None or (isinstance(value, float)
+                                            and math.isnan(value)) \
+                else f"{value:.1f}"
+
+        sched = system.scheduler
+        lines = [
+            f"t={system.sim.now:.1f}s  "
+            f"queue={system.queue_depth()}  "
+            f"in-flight={int(system.metrics.gauge('in_flight').value)}  "
+            f"dead-letters={system.broker.dead_letter_count()}",
+            f"sched wait: p50={fmt(wait.percentile(50))}s  "
+            f"p95={fmt(wait.percentile(95))}s  "
+            f"ewma={fmt(sched.wait_ewma() if sched else None)}s  "
+            f"dispatched={wait.count}",
+            f"fleet: slots busy "
+            f"{system.fleet_slot_utilization() * 100:.0f}%  "
+            f"warm-pool hit rate "
+            f"{system.fleet_pool_hit_rate() * 100:.0f}%",
+        ]
+        rows = []
+        for worker in system.workers:
+            pool = worker.pool
+            rows.append([
+                worker.id,
+                "up" if worker.is_running else "down",
+                f"{worker.active_jobs}/{worker.slot_count}",
+                f"{worker.utilization() * 100:.0f}%",
+                f"{pool.hits}/{pool.hits + pool.misses}",
+                f"{pool.hit_rate() * 100:.0f}%",
+                pool.pooled_count,
+            ])
+        table = render_table(
+            ["worker", "state", "busy/slots", "util", "pool h/a",
+             "hit%", "pooled"],
+            rows, title="workers") if rows else "no workers"
+        return "\n".join(lines) + "\n\n" + table + "\n"
 
     def _cmd_trace(self, args: List[str]) -> str:
         """``rai trace [job_id]`` — waterfall + critical path for a job

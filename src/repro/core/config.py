@@ -52,6 +52,17 @@ class WorkerConfig:
     #: redelivery — only move the chunks the worker has not seen.  0
     #: disables the cache.
     fetch_cache_bytes: int = 1 << 30
+    #: Warm container pool: scrubbed containers kept per image for reuse
+    #: across jobs.  0 disables the pool (every job pays the engine's full
+    #: create cost).
+    warm_pool_size: int = 2
+    #: Idle parked containers older than this (sim clock) are destroyed.
+    warm_pool_ttl_seconds: float = 900.0
+    #: Engine cost of creating a fresh container (namespace + cgroup +
+    #: mount setup) — what a pool miss pays at acquire time.
+    container_create_seconds: float = 2.0
+    #: Cost of reprovisioning a warm pooled container — what a hit pays.
+    container_reset_seconds: float = 0.2
 
     def __post_init__(self):
         if self.max_concurrent_jobs < 1:
@@ -61,6 +72,13 @@ class WorkerConfig:
         if self.job_deadline_seconds is not None \
                 and self.job_deadline_seconds <= 0:
             raise ValueError("job_deadline_seconds must be positive")
+        if self.warm_pool_size < 0:
+            raise ValueError("warm_pool_size must be >= 0")
+        if self.warm_pool_ttl_seconds <= 0:
+            raise ValueError("warm_pool_ttl_seconds must be positive")
+        if self.container_create_seconds < 0 \
+                or self.container_reset_seconds < 0:
+            raise ValueError("container create/reset seconds must be >= 0")
 
 
 @dataclass
@@ -100,3 +118,14 @@ class SystemConfig:
     #: Ring capacity of the in-memory trace store (oldest *finished*
     #: traces are evicted first; live traces are never dropped).
     trace_max_traces: int = 512
+    #: Fair-share / deadline-aware dequeue on the task channel
+    #: (:mod:`repro.sched`).  Disable to reproduce plain FIFO.
+    scheduler_enabled: bool = True
+    #: Course deadline on the sim clock; jobs submitted within the boost
+    #: window before it jump the queue (§VI deadline policy).  ``None``
+    #: disables the boost (fair share still applies).
+    course_deadline_at: Optional[float] = None
+    #: Width of the pre-deadline boost window.
+    deadline_boost_window_seconds: float = 24 * 3600.0
+    #: Executor-seconds each queued team accrues per fair-share round.
+    sched_quantum_seconds: float = 5.0

@@ -24,6 +24,7 @@ from repro.docdb.database import DocumentDB
 from repro.obs.metrics import CounterGroup, MetricsRegistry
 from repro.obs.store import TraceStore
 from repro.obs.tracer import Tracer
+from repro.sched import JobScheduler, RuntimeEstimator, SchedulerPolicy
 from repro.sim.kernel import Simulator
 from repro.sim.monitor import Monitor
 from repro.sim.random import RandomStreams
@@ -86,6 +87,10 @@ class RaiSystem:
         # once per submission; an index keeps it O(1) instead of a scan
         # over every submission the course has ever recorded.
         self.db.collection("submissions").create_index("job_id")
+        # The scheduler's runtime estimator queries history per team and
+        # per user; index both so SJF seeding stays O(matches).
+        self.db.collection("submissions").create_index("team")
+        self.db.collection("submissions").create_index("username")
         self.registry = registry if registry is not None else default_registry()
         self.keystore = KeyStore(rng=self.rng.stream("keystore"))
         self.rate_limiter = RateLimiter(
@@ -93,6 +98,22 @@ class RaiSystem:
             window_seconds=self.config.rate_limit_seconds)
         self.ranking = RankingService(self.db)
         self.workers: List[RaiWorker] = []
+
+        # Fair-share / deadline-aware dequeue on the shared task channel.
+        # Every worker consumes "rai/tasks"; attaching the scheduler to
+        # that channel reorders dispatch without touching the executors.
+        self.scheduler: Optional[JobScheduler] = None
+        if self.config.scheduler_enabled:
+            self.scheduler = JobScheduler(
+                clock=lambda: self.sim.now,
+                policy=SchedulerPolicy(
+                    quantum_seconds=self.config.sched_quantum_seconds,
+                    deadline_at=self.config.course_deadline_at,
+                    deadline_window_seconds=self.config
+                    .deadline_boost_window_seconds),
+                estimator=RuntimeEstimator(history_fn=self._service_history),
+                metrics=self.metrics)
+            self.broker.channel("rai/tasks").scheduler = self.scheduler
 
         # File-server buckets and the paper's lifetime rules (§IV/§V):
         # uploads expire one month after last use; build outputs after
@@ -120,6 +141,11 @@ class RaiSystem:
             for topic in self.broker.topics.values()
             for channel in topic.channels.values()))
         self.metrics.gauge("dead_letters", fn=self.broker.dead_letter_count)
+        self.metrics.gauge("sched_wait_ewma", fn=lambda: (
+            self.scheduler.wait_ewma() if self.scheduler else 0.0))
+        self.metrics.gauge("fleet_slot_utilization",
+                           fn=self.fleet_slot_utilization)
+        self.metrics.gauge("warm_pool_hit_rate", fn=self.fleet_pool_hit_rate)
 
     # -- construction helpers ------------------------------------------------
 
@@ -143,6 +169,12 @@ class RaiSystem:
                            worker_id=worker_id)
         self.workers.append(worker)
         self.monitor.incr("workers_started")
+        # Per-worker labelled gauges (`rai top` reads these; the telemetry
+        # sampler skips labelled gauges so they cost nothing per tick).
+        self.metrics.gauge("worker_slot_utilization",
+                           fn=worker.utilization, worker=worker.id)
+        self.metrics.gauge("worker_pool_hit_rate",
+                           fn=worker.pool_hit_rate, worker=worker.id)
         return worker
 
     def remove_worker(self, worker: Optional[RaiWorker] = None) -> None:
@@ -267,6 +299,34 @@ class RaiSystem:
 
     # -- observability ------------------------------------------------------
 
+    def _service_history(self, key: str) -> List[float]:
+        """Past service times for a fair-share key (team, else username).
+
+        Seeds the scheduler's shortest-expected-job-first estimator from
+        the submissions collection, so a restarted deployment remembers
+        which teams run long jobs.
+        """
+        if not key:
+            return []
+        submissions = self.db.collection("submissions")
+        docs = list(submissions.find({"team": key})) or \
+            list(submissions.find({"username": key}))
+        docs.sort(key=lambda d: d.get("finished_at") or 0.0)
+        return [float(d["service_seconds"]) for d in docs
+                if d.get("service_seconds")]
+
+    def fleet_slot_utilization(self) -> float:
+        """Instantaneous busy fraction of live executor slots."""
+        slots = sum(w.slot_count for w in self.running_workers)
+        active = sum(w.active_jobs for w in self.running_workers)
+        return active / slots if slots else 0.0
+
+    def fleet_pool_hit_rate(self) -> float:
+        """Warm-pool hit fraction across every worker's acquires."""
+        hits = sum(w.pool.hits for w in self.workers)
+        total = hits + sum(w.pool.misses for w in self.workers)
+        return hits / total if total else 0.0
+
     def queue_depth(self) -> int:
         """Jobs waiting in the task queue (incl. topic backlog)."""
         if not self.broker.has_topic("rai"):
@@ -285,6 +345,12 @@ class RaiSystem:
             },
             "queue_depth": self.queue_depth(),
             "dead_letters": self.broker.dead_letter_count(),
+            "scheduler": (self.scheduler.wait_stats()
+                          if self.scheduler else None),
+            "warm_pool": {
+                "hit_rate": self.fleet_pool_hit_rate(),
+                "pooled": sum(w.pool.pooled_count for w in self.workers),
+            },
             "submissions_recorded": len(submissions),
             "storage": self.storage.stats(),
             "database": self.db.stats(),

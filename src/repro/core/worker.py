@@ -25,6 +25,7 @@ from typing import List, Optional
 
 from repro.broker.client import Consumer, Producer
 from repro.buildspec.parser import parse_build_spec
+from repro.container.pool import WarmContainerPool
 from repro.container.runtime import ContainerRuntime
 from repro.container.volumes import VolumeMount, cuda_volume
 from repro.core.config import WorkerConfig
@@ -66,6 +67,14 @@ class RaiWorker:
             pull_bandwidth_bps=self.config.pull_bandwidth_bps,
             clock=lambda: self.sim.now,
         )
+        self.pool = WarmContainerPool(
+            self.runtime,
+            clock=lambda: self.sim.now,
+            max_per_image=self.config.warm_pool_size,
+            ttl_seconds=self.config.warm_pool_ttl_seconds,
+            create_seconds=self.config.container_create_seconds,
+            reset_seconds=self.config.container_reset_seconds,
+        )
         self._rng = system.rng.stream(f"worker:{self.id}")
         # Backoff jitter draws from its own stream so retries never perturb
         # the timing-noise sequence of a fault-free run with the same seed.
@@ -89,20 +98,58 @@ class RaiWorker:
         self.busy_seconds = 0.0
         self.started_at = self.sim.now
         self.stopped_at: Optional[float] = None
-        self._executors = [
-            self.sim.process(self._executor_loop(slot))
-            for slot in range(self.config.max_concurrent_jobs)
-        ]
+        # Per-slot live-time accounting: utilization's denominator counts
+        # only seconds each concurrency slot actually existed, so slots
+        # added or removed mid-run do not skew the busy fraction the
+        # autoscaler reads.
+        self._slot_counter = itertools.count()
+        self._slot_open: dict = {}
+        self._slot_seconds_closed = 0.0
+        self._executors: List = []
+        for _ in range(self.config.max_concurrent_jobs):
+            self._spawn_slot()
         if self.config.enable_interactive:
             from repro.core.interactive import serve_sessions
 
-            self._executors.append(self.sim.process(serve_sessions(self)))
-        for proc in self._executors:
-            # A stop() interrupt can land before an executor's generator
-            # has even started, in which case the Interrupt escapes the
-            # loop's try blocks; mark it handled so it cannot crash the
-            # simulation.
+            proc = self.sim.process(serve_sessions(self))
             proc.callbacks.append(_defuse_interrupt_failure)
+            self._executors.append(proc)
+
+    def _spawn_slot(self) -> int:
+        slot = next(self._slot_counter)
+        self._slot_open[slot] = self.sim.now
+        proc = self.sim.process(self._executor_loop(slot))
+        # A stop() interrupt can land before an executor's generator has
+        # even started, in which case the Interrupt escapes the loop's try
+        # blocks; mark it handled so it cannot crash the simulation.
+        proc.callbacks.append(_defuse_interrupt_failure)
+        self._executors.append(proc)
+        return slot
+
+    def add_slots(self, count: int = 1) -> None:
+        """Grow concurrency mid-run (each new slot starts an executor)."""
+        if self._stopped:
+            raise RuntimeError("cannot add slots to a stopped worker")
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        for _ in range(count):
+            self._spawn_slot()
+
+    def _close_slot(self, slot: int) -> None:
+        opened_at = self._slot_open.pop(slot, None)
+        if opened_at is not None:
+            self._slot_seconds_closed += self.sim.now - opened_at
+
+    @property
+    def slot_count(self) -> int:
+        """Concurrency slots currently live."""
+        return len(self._slot_open)
+
+    def slot_seconds(self) -> float:
+        """Total slot-seconds of capacity this worker has offered."""
+        now = self.sim.now
+        return self._slot_seconds_closed + \
+            sum(now - opened for opened in self._slot_open.values())
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -116,6 +163,9 @@ class RaiWorker:
             return
         self._stopped = True
         self.stopped_at = self.sim.now
+        self.pool.close()
+        for slot in list(self._slot_open):
+            self._close_slot(slot)
         for proc in self._executors:
             if proc.is_alive:
                 proc.interrupt("worker stopped")
@@ -144,9 +194,18 @@ class RaiWorker:
         return end - self.started_at
 
     def utilization(self) -> float:
-        """Busy fraction of (uptime × concurrency slots)."""
-        denom = self.uptime * self.config.max_concurrent_jobs
+        """Busy fraction of the slot-seconds this worker actually offered.
+
+        The denominator is per-slot live time (not uptime × configured
+        concurrency), so slots added via :meth:`add_slots` or retired
+        mid-run are weighted by how long they really existed.
+        """
+        denom = self.slot_seconds()
         return self.busy_seconds / denom if denom > 0 else 0.0
+
+    def pool_hit_rate(self) -> float:
+        """Warm-pool hit fraction over this worker's container acquires."""
+        return self.pool.hit_rate()
 
     # -- the executor loop ------------------------------------------------------
 
@@ -154,12 +213,21 @@ class RaiWorker:
         consumer = Consumer(self.system.broker, self.config.task_route)
         try:
             while not self._stopped:
-                get_event = consumer.get()
-                try:
-                    message = yield get_event
-                except Interrupt:
-                    self._cancel_get(consumer, get_event)
-                    break
+                # Prefetch: claim an already-queued message synchronously
+                # (one scheduler round-trip per *batch*, not per message);
+                # park on the blocking get only when nothing is ready.
+                # try_deliver never steals from another executor's pending
+                # blocking get, so idle slots still wake fairly.
+                message = consumer.try_get()
+                if message is not None:
+                    self.system.monitor.incr("worker_prefetch_claims")
+                else:
+                    get_event = consumer.get()
+                    try:
+                        message = yield get_event
+                    except Interrupt:
+                        self._cancel_get(consumer, get_event)
+                        break
                 if self._stopped:
                     consumer.requeue(message)
                     break
@@ -192,6 +260,7 @@ class RaiWorker:
                     consumer.ack(message)
         finally:
             consumer.close()
+            self._close_slot(slot)
 
     @staticmethod
     def _cancel_get(consumer, get_event) -> None:
@@ -225,6 +294,8 @@ class RaiWorker:
             return False
         deadline = (self.sim.now + self.config.job_deadline_seconds
                     if self.config.job_deadline_seconds is not None else None)
+        proc_start = self.sim.now
+        pool_hit: Optional[bool] = None
         self.active_jobs += 1
         tracer = self.system.tracer
         # Parent on the message headers: the broker.deliver span the
@@ -287,7 +358,8 @@ class RaiWorker:
                 get_span.end(status="error", message=str(exc))
                 status = JobStatus.FAILED
                 self._record(job, status, exit_code, outputs, build_url,
-                             attempts=message.attempts, span=wspan)
+                             attempts=message.attempts, span=wspan,
+                             service_seconds=self.sim.now - proc_start)
                 return
             except StorageError as exc:  # NoSuchKey etc.
                 publish_log("stderr", f"✗ cannot fetch project: {exc}\n")
@@ -304,15 +376,19 @@ class RaiWorker:
             project_fs = VirtualFileSystem(clock=lambda: self.sim.now)
             unpack_tree(archive.data, project_fs, "/")
 
-            # Step 3 — container (pull image on cache miss).
+            # Step 3 — container (pull missing image layers on a cache
+            # miss, then acquire warm from the pool or create cold).
             pull_cost = self.runtime.pull_cost_seconds(spec.image)
             if pull_cost > 0:
                 publish_log("stdout", f"Pulling image {spec.image} ...\n")
                 wspan.add_event("image.pull", image=spec.image,
                                 seconds=pull_cost)
+                self.system.monitor.incr(
+                    "image_bytes_pulled",
+                    int(pull_cost * self.config.pull_bandwidth_bps))
                 yield self.sim.timeout(pull_cost)
                 self._check_deadline(deadline)
-            container = self.runtime.create_container(
+            container, pool_hit, acquire_cost = self.pool.acquire(
                 spec.image,
                 limits=self.config.limits,
                 mounts=[
@@ -323,15 +399,26 @@ class RaiWorker:
                 gpu_device=self.gpu,
                 on_output=publish_log,
             )
-            # Contention noise flows into the container's measured times:
-            # alone on a worker it is ~solo_jitter; with co-running jobs
-            # it grows — the single-job-mode ablation's mechanism.
-            container.time_dilation = self._timing_noise
-            container.start()
-            publish("status", status="running", container=container.id)
-
             # Step 5 — run the build commands.
             try:
+                if acquire_cost > 0:
+                    yield self.sim.timeout(acquire_cost)
+                wspan.add_event("container.acquire", pool_hit=pool_hit,
+                                seconds=acquire_cost,
+                                container=container.id,
+                                generation=container.generation)
+                self.system.metrics.histogram(
+                    "container_acquire_seconds",
+                    outcome="warm" if pool_hit else "cold",
+                ).observe(acquire_cost)
+                self._check_deadline(deadline)
+                # Contention noise flows into the container's measured
+                # times: alone on a worker it is ~solo_jitter; with
+                # co-running jobs it grows — the single-job-mode
+                # ablation's mechanism.
+                container.time_dilation = self._timing_noise
+                container.start()
+                publish("status", status="running", container=container.id)
                 run_span = tracer.start_span(
                     "container.run", parent=wspan, kind="container",
                     attributes={"image": spec.image,
@@ -411,11 +498,13 @@ class RaiWorker:
                                 bucket=self.system.config.build_bucket,
                                 size=len(blob))
             finally:
-                self.runtime.destroy_container(container)
+                self.pool.release(container)
 
             # Record the submission and, for finals, the ranking.
             self._record(job, status, exit_code, outputs, build_url,
-                         attempts=message.attempts, span=wspan)
+                         attempts=message.attempts, span=wspan,
+                         service_seconds=self.sim.now - proc_start,
+                         pool_hit=pool_hit)
         except JobDeadlineExceeded as exc:
             # The paper's 1-hour cap, applied wall-clock: kill whatever is
             # left (the container was destroyed on the way out) and report
@@ -429,13 +518,17 @@ class RaiWorker:
             wspan.add_event("deadline_exceeded",
                             deadline_s=self.config.job_deadline_seconds)
             self._record(job, status, exit_code, outputs, build_url,
-                         attempts=message.attempts, span=wspan)
+                         attempts=message.attempts, span=wspan,
+                         service_seconds=self.sim.now - proc_start,
+                         pool_hit=pool_hit)
         except Interrupt:
             if not self._crashed:
                 publish_log("stderr", "✗ worker shutting down mid-job\n")
                 status = JobStatus.FAILED
                 self._record(job, status, exit_code, outputs, build_url,
-                             attempts=message.attempts, span=wspan)
+                             attempts=message.attempts, span=wspan,
+                             service_seconds=self.sim.now - proc_start,
+                             pool_hit=pool_hit)
             raise
         finally:
             if status is JobStatus.SUCCEEDED:
@@ -552,7 +645,8 @@ class RaiWorker:
 
     def _record(self, job: Job, status: JobStatus, exit_code,
                 outputs: List[tuple], build_url, attempts: int = 1,
-                span=None) -> bool:
+                span=None, service_seconds: Optional[float] = None,
+                pool_hit: Optional[bool] = None) -> bool:
         # At-least-once delivery means a job can be processed twice (e.g.
         # a premature stale-sweep redelivered it while the original worker
         # was still alive).  Recording is made effectively-once: whichever
@@ -592,6 +686,10 @@ class RaiWorker:
             "exit_code": exit_code,
             "submitted_at": job.submitted_at,
             "finished_at": self.sim.now,
+            # Worker-side service time (fetch + acquire + build + upload):
+            # the scheduler's runtime estimator seeds SJF from this.
+            "service_seconds": service_seconds,
+            "pool_hit": pool_hit,
             "internal_time": internal_time,
             "instructor_time": instructor_time,
             "correctness": float(correctness[-1]) if correctness else None,
@@ -601,6 +699,10 @@ class RaiWorker:
             "stderr_tail": stderr[-2000:],
         })
         self.system.monitor.incr("jobs_recorded")
+        scheduler = getattr(self.system, "scheduler", None)
+        if scheduler is not None and service_seconds is not None:
+            scheduler.note_completion(job.team or job.username,
+                                      service_seconds)
 
         if job.kind is JobKind.SUBMIT and status is JobStatus.SUCCEEDED \
                 and internal_time is not None and job.team:

@@ -1,0 +1,23 @@
+"""Fair-share, deadline-aware job scheduling between broker and executors.
+
+The broker's channel is FIFO; near a course deadline that is exactly
+wrong: one team's resubmission storm queues hundreds of jobs ahead of
+everyone else's single submission, and the p95 queue wait explodes (the
+paper's §VI deadline-burst problem).  This package supplies the dequeue
+policy a :class:`~repro.broker.topic.Channel` consults instead:
+
+- **fair share** — per-team deficit round robin, so each active team gets
+  an equal slice of executor time regardless of how many jobs it queued;
+- **deadline boost** — jobs inside the course-deadline window form a
+  priority band that dequeues before out-of-band work (fair share still
+  applies *within* the band, so a storm cannot weaponise the boost);
+- **shortest-expected-job-first tie-breaking** — expected cost per team
+  comes from a history-seeded EWMA over observed service times (docdb's
+  ``submissions.service_seconds``), favouring quick jobs when fairness
+  does not dictate otherwise.
+"""
+
+from repro.sched.estimator import RuntimeEstimator
+from repro.sched.scheduler import JobScheduler, SchedulerPolicy
+
+__all__ = ["JobScheduler", "SchedulerPolicy", "RuntimeEstimator"]

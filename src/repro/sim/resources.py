@@ -166,6 +166,15 @@ class Store:
         """Non-destructive snapshot of queued items (for stats/tests)."""
         return list(self.items)
 
+    def _pop_next(self) -> Any:
+        """Remove and return the next item for an unfiltered get.
+
+        FIFO by default; subclasses (e.g. a scheduler-backed broker
+        channel) may override to reorder dequeue without touching the
+        event machinery.  Only called when ``self.items`` is non-empty.
+        """
+        return self.items.popleft()
+
     def _dispatch(self) -> None:
         progressed = True
         while progressed:
@@ -187,7 +196,7 @@ class Store:
                 matched = _missing
                 if get.filter is None:
                     if self.items:
-                        matched = self.items.popleft()
+                        matched = self._pop_next()
                 else:
                     for i, item in enumerate(self.items):
                         if get.filter(item):

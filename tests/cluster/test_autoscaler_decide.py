@@ -1,0 +1,175 @@
+"""Edge cases of the autoscaler's pure decision function and signals.
+
+``Autoscaler._decide`` is a pure mapping from a signals snapshot to an
+action, so the corner cases — min-floor enforcement, scale-down
+hysteresis, behaviour during a fault-injected worker crash — are pinned
+here directly, without driving a fleet for simulated hours.
+"""
+
+import pytest
+
+from repro.cluster import Autoscaler, AutoscalerPolicy, Provisioner
+from repro.core.system import RaiSystem
+from repro.faults import FaultPlan, WorkerCrashFault
+
+
+@pytest.fixture
+def system():
+    return RaiSystem(seed=13)
+
+
+def make_scaler(system, **kwargs):
+    provisioner = Provisioner(system)
+    policy = AutoscalerPolicy(**kwargs)
+    return Autoscaler(system, provisioner, policy)
+
+
+def signals(**overrides) -> dict:
+    base = {
+        "now": 0.0,
+        "n_live": 2,
+        "n_healthy": 2,
+        "depth": 0,
+        "active": 0,
+        "capacity": 4,
+        "occupancy": 0.0,
+        "wait_ewma": 0.0,
+        "since_scale_in": float("inf"),
+    }
+    base.update(overrides)
+    return base
+
+
+class TestMinFloor:
+    def test_launches_exact_deficit(self, system):
+        scaler = make_scaler(system, min_instances=3)
+        assert scaler._decide(signals(n_live=1)) == ("ensure-min", 2)
+
+    def test_floor_takes_priority_over_scale_in_conditions(self, system):
+        scaler = make_scaler(system, min_instances=2)
+        # Idle enough to scale in, but below the floor: launch.
+        assert scaler._decide(signals(n_live=1, occupancy=0.0)) \
+            == ("ensure-min", 1)
+
+    def test_at_floor_idle_is_a_noop(self, system):
+        scaler = make_scaler(system, min_instances=2)
+        assert scaler._decide(signals(n_live=2, occupancy=0.0)) is None
+
+
+class TestScaleOut:
+    def test_cold_start_zero_capacity_with_backlog(self, system):
+        scaler = make_scaler(system, min_instances=1, step=2)
+        # Min floor satisfied by a still-booting instance (capacity 0).
+        decision = scaler._decide(signals(n_live=1, depth=5, capacity=0))
+        assert decision == ("scale-out", 2)
+
+    def test_high_occupancy_triggers(self, system):
+        scaler = make_scaler(system, scale_out_utilization=0.85)
+        assert scaler._decide(
+            signals(depth=3, active=4, occupancy=0.9)) == ("scale-out", 2)
+
+    def test_slow_waits_trigger_even_at_moderate_occupancy(self, system):
+        scaler = make_scaler(system, target_wait_seconds=60.0)
+        assert scaler._decide(
+            signals(depth=3, occupancy=0.5, wait_ewma=90.0)) \
+            == ("scale-out", 2)
+
+    def test_no_trigger_below_both_thresholds(self, system):
+        scaler = make_scaler(system)
+        assert scaler._decide(
+            signals(depth=3, occupancy=0.5, wait_ewma=10.0)) is None
+
+    def test_capped_at_max_instances(self, system):
+        scaler = make_scaler(system, max_instances=3, step=5)
+        decision = scaler._decide(
+            signals(n_live=2, depth=10, occupancy=1.0))
+        assert decision == ("scale-out", 1)
+        assert scaler._decide(
+            signals(n_live=3, depth=10, occupancy=1.0)) is None
+
+    def test_empty_queue_never_scales_out(self, system):
+        scaler = make_scaler(system)
+        assert scaler._decide(signals(depth=0, occupancy=1.0,
+                                      wait_ewma=500.0)) is None
+
+
+class TestScaleInHysteresis:
+    def idle(self, **overrides):
+        base = dict(n_live=4, depth=0, occupancy=0.1, wait_ewma=0.0,
+                    since_scale_in=float("inf"))
+        base.update(overrides)
+        return signals(**base)
+
+    def test_idle_fleet_scales_in(self, system):
+        scaler = make_scaler(system, min_instances=1, step=2)
+        assert scaler._decide(self.idle()) == ("scale-in", 2)
+
+    def test_never_below_the_floor(self, system):
+        scaler = make_scaler(system, min_instances=3, step=5)
+        assert scaler._decide(self.idle(n_live=4)) == ("scale-in", 1)
+        assert scaler._decide(self.idle(n_live=3)) is None
+
+    def test_cooldown_blocks_back_to_back_scale_in(self, system):
+        scaler = make_scaler(system, scale_in_cooldown=1800.0)
+        assert scaler._decide(self.idle(since_scale_in=100.0)) is None
+        assert scaler._decide(self.idle(since_scale_in=1800.0)) \
+            == ("scale-in", 2)
+
+    def test_warm_wait_ewma_blocks_scale_in(self, system):
+        # Queue is empty but recent dispatches waited long: the EWMA has
+        # not cooled below target/2, so capacity stays (hysteresis
+        # against the storm resuming).
+        scaler = make_scaler(system, target_wait_seconds=60.0)
+        assert scaler._decide(self.idle(wait_ewma=40.0)) is None
+        assert scaler._decide(self.idle(wait_ewma=20.0)) \
+            == ("scale-in", 2)
+
+    def test_moderate_occupancy_blocks_scale_in(self, system):
+        scaler = make_scaler(system, scale_in_idle_fraction=0.5)
+        assert scaler._decide(self.idle(occupancy=0.6)) is None
+
+    def test_zero_capacity_fleet_never_scales_in(self, system):
+        # All instances still booting: nothing to judge idle yet.
+        scaler = make_scaler(system)
+        assert scaler._decide(self.idle(capacity=0)) is None
+
+
+class TestCrashedWorkerHandling:
+    def test_reap_then_refill_during_fault_injected_crash(self, system):
+        """A fault-injected crash mid-flight: the dead instance is reaped
+        (stops billing) and the min floor launches a replacement."""
+        provisioner = Provisioner(system)
+        policy = AutoscalerPolicy(min_instances=2, check_interval=30.0)
+        scaler = Autoscaler(system, provisioner, policy)
+        system.sim.process(scaler.run())
+        # Crash one worker shortly after the fleet finishes booting.
+        system.start_fault_plan(FaultPlan(worker_crashes=(
+            WorkerCrashFault(window=(200.0, 201.0)),)))
+        system.run(until=180.0)
+        booted = [i for i in provisioner.live_instances
+                  if i.worker is not None]
+        assert len(booted) == 2
+        system.run(until=800.0)
+        actions = [d["action"] for d in scaler.decisions]
+        assert "reap-crashed" in actions
+        # The crashed instance no longer counts live, and the floor has
+        # been re-established with healthy workers.
+        healthy = [i for i in provisioner.live_instances
+                   if i.worker is None or i.worker.is_running]
+        assert len(provisioner.live_instances) == len(healthy) == 2
+
+    def test_crashed_workers_excluded_from_signals(self, system):
+        provisioner = Provisioner(system)
+        scaler = Autoscaler(system, provisioner,
+                            AutoscalerPolicy(min_instances=2))
+        provisioner.launch_many(2, instance_type="p2.xlarge")
+        system.run(until=180.0)   # past the 120s boot delay
+        victim = provisioner.live_instances[0].worker
+        victim.crash()
+        survivor = provisioner.live_instances[1].worker
+        snap = scaler.signals()
+        assert snap["n_live"] == 2          # not yet reaped
+        assert snap["n_healthy"] == 1
+        assert snap["capacity"] == survivor.slot_count
+        scaler._reap_crashed()
+        assert scaler.signals()["n_live"] == 1

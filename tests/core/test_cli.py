@@ -79,3 +79,29 @@ class TestSubcommands:
         out = cli.run_command("rai stats")
         assert "deployment health" in out
         assert "jobs completed" in out
+
+    def test_top_idle_fleet(self, cli, system):
+        out = cli.run_command("rai top")
+        assert "queue=0" in out
+        assert "sched wait: p50=-" in out   # no dispatches yet
+        assert "warm-pool hit rate" in out
+        for worker in system.workers:
+            assert worker.id in out
+        assert "up" in out
+
+    def test_top_after_jobs(self, cli, system):
+        cli.run_command("rai run")
+        out = cli.run_command("rai top")
+        # Dispatch histogram populated; percentiles render as numbers.
+        assert "dispatched=1" in out
+        assert "p50=-" not in out
+        # Pool columns show the cold create and the parked container.
+        assert "0/1" in out and "pooled" in out
+
+    def test_top_shows_downed_worker(self, cli, system):
+        system.workers[0].crash()
+        out = cli.run_command("rai top")
+        assert "down" in out
+
+    def test_top_listed_in_help(self, cli):
+        assert "top" in cli.run_command("rai help")

@@ -1,0 +1,73 @@
+"""Tier-1 smoke of the warm-start bench: pooled reuse beats cold starts.
+
+``benchmarks/bench_sched.py`` runs the full scale ladder; this replays
+the tiny smoke scale every test pass so a regression in the warm pool,
+the fair-share scheduler, or their worker wiring fails fast, not only
+when someone regenerates ``BENCH_sched.json``.
+"""
+
+import pytest
+
+from repro.workload.schedbench import SMOKE_SCALE, run_sched
+
+pytestmark = [pytest.mark.perf, pytest.mark.sched]
+
+
+@pytest.fixture(scope="module")
+def warm_metrics():
+    return run_sched(SMOKE_SCALE, warm=True)
+
+
+@pytest.fixture(scope="module")
+def baseline_metrics():
+    return run_sched(SMOKE_SCALE, warm=False)
+
+
+def _mean_acquire_cost(metrics) -> float:
+    acquire = metrics["container_acquire_s"]
+    total = sum(entry["count"] * entry["mean"]
+                for entry in acquire.values())
+    count = sum(entry["count"] for entry in acquire.values())
+    return total / count
+
+
+def test_warm_reuse_halves_mean_acquire_cost(warm_metrics,
+                                             baseline_metrics):
+    """The acceptance floor: warm-pool reuse makes the mean container
+    acquisition at least 2x cheaper than the cold-start baseline."""
+    warm_cost = _mean_acquire_cost(warm_metrics)
+    cold_cost = _mean_acquire_cost(baseline_metrics)
+    assert cold_cost >= 2.0 * warm_cost
+
+
+def test_baseline_never_warms(baseline_metrics):
+    assert baseline_metrics["pool"]["hits"] == 0
+    assert baseline_metrics["pool"]["hit_rate"] == 0.0
+    assert "warm" not in baseline_metrics["container_acquire_s"]
+
+
+def test_resubmissions_mostly_hit_the_pool(warm_metrics):
+    assert warm_metrics["pool"]["resubmission_hit_rate"] >= 0.5
+
+
+def test_fairness_under_the_storm(warm_metrics):
+    """No team's mean queue wait exceeds 2x the global mean even with
+    one team flooding the queue."""
+    assert warm_metrics["fairness"]["max_over_global"] <= 2.0
+
+
+def test_same_work_completes_in_both_modes(warm_metrics,
+                                           baseline_metrics):
+    for key in ("first", "resubmissions", "storm"):
+        assert warm_metrics["latency_s"][key]["count"] \
+            == baseline_metrics["latency_s"][key]["count"]
+
+
+def test_prefetch_path_exercised(warm_metrics):
+    assert warm_metrics["prefetch_claims"] > 0
+
+
+def test_shared_base_layer_saves_pull_bytes(warm_metrics):
+    """Teams on webgpu/rai:minimal reuse the CUDA base layer pulled for
+    webgpu/rai:root (and vice versa): every worker saves bytes."""
+    assert warm_metrics["pull"]["bytes_pull_saved"] > 0
