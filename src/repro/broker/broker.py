@@ -41,7 +41,7 @@ class MessageBroker:
     def __init__(self, sim, max_message_bytes: int = 1 << 20,
                  default_max_attempts: int = 5,
                  metrics: Optional[MetricsRegistry] = None,
-                 tracer=None):
+                 tracer=None, events=None):
         self.sim = sim
         self.max_message_bytes = max_message_bytes
         self.default_max_attempts = default_max_attempts
@@ -49,6 +49,10 @@ class MessageBroker:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.counters = CounterGroup(self.metrics, prefix="broker_")
         self.tracer = tracer
+        #: Optional :class:`~repro.obs.events.EventLog`; channels reach it
+        #: through their topic's broker back-reference to record
+        #: redeliveries and dead-letterings.
+        self.events = events
 
     # -- topology ------------------------------------------------------------
 

@@ -96,6 +96,29 @@ class Channel(Store):
         self._trace_delivery(msg)
         if self.scheduler is not None:
             self.scheduler.note_dispatch(msg)
+        if msg.attempts > 1:
+            self._emit_event("broker.redeliver", msg)
+
+    def _emit_event(self, type: str, msg: Message, **fields) -> None:
+        """Record a delivery anomaly in the deployment event log.
+
+        Runs after :meth:`_trace_delivery`, so the message's headers
+        carry this delivery attempt's span — the event links straight to
+        the redelivery chain in the waterfall.
+        """
+        broker = getattr(self.topic, "broker", None)
+        events = getattr(broker, "events", None)
+        if events is None:
+            return
+        body = msg.body if isinstance(msg.body, dict) else {}
+        headers = msg.headers or {}
+        events.emit(type,
+                    trace_id=headers.get("trace_id"),
+                    span_id=headers.get("span_id"),
+                    route=f"{self.topic.name}/{self.name}",
+                    message_id=msg.id, attempt=msg.attempts,
+                    job_id=body.get("job_id"), team=body.get("team"),
+                    **fields)
 
     def _trace_delivery(self, msg: Message) -> None:
         """Span the publish → claim gap for trace-carrying messages.
@@ -133,6 +156,7 @@ class Channel(Store):
         if message.attempts >= self.max_attempts:
             self.dead_letters.append(message)
             self.total_dead_lettered += 1
+            self._emit_event("broker.dead_letter", message)
             return False
         self.total_requeued += 1
         self.put(message)

@@ -232,3 +232,10 @@ class Autoscaler:
             "occupancy": signals["occupancy"],
             "wait_ewma": signals["wait_ewma"],
         })
+        events = getattr(self.system, "events", None)
+        if events is not None:
+            events.emit("autoscale.decision", action=action, count=count,
+                        queue_depth=signals["depth"],
+                        live_before=signals["n_live"],
+                        occupancy=round(signals["occupancy"], 4),
+                        wait_ewma=round(signals["wait_ewma"], 4))

@@ -52,7 +52,8 @@ class WarmContainerPool:
                  max_per_image: int = 2,
                  ttl_seconds: float = 900.0,
                  create_seconds: float = 2.0,
-                 reset_seconds: float = 0.2):
+                 reset_seconds: float = 0.2,
+                 events=None, owner: Optional[str] = None):
         if max_per_image < 0:
             raise ValueError("max_per_image must be >= 0")
         if create_seconds < 0 or reset_seconds < 0:
@@ -63,6 +64,10 @@ class WarmContainerPool:
         self.ttl_seconds = ttl_seconds
         self.create_seconds = create_seconds
         self.reset_seconds = reset_seconds
+        #: Optional :class:`~repro.obs.events.EventLog` + the owning
+        #: worker's id, so fleet-wide pool churn reads as one stream.
+        self.events = events
+        self.owner = owner
         self._parked: Dict[str, Deque[_Parked]] = {}
         self._closed = False
         self.hits = 0
@@ -108,12 +113,19 @@ class WarmContainerPool:
             container.recycle(limits=limits, mounts=mounts or [],
                               gpu_device=gpu_device, on_output=on_output)
             self.hits += 1
+            self._emit("pool.hit", image=image_name,
+                       cost=self.reset_seconds)
             return container, True, self.reset_seconds
         container = self.runtime.create_container(
             image_name, limits=limits, mounts=mounts,
             gpu_device=gpu_device, on_output=on_output)
         self.misses += 1
+        self._emit("pool.miss", image=image_name, cost=self.create_seconds)
         return container, False, self.create_seconds
+
+    def _emit(self, type: str, **fields) -> None:
+        if self.events is not None:
+            self.events.emit(type, worker=self.owner, **fields)
 
     def release(self, container: Container) -> bool:
         """Return a container after its job; park it or destroy it.
@@ -156,6 +168,8 @@ class WarmContainerPool:
                 self.runtime.destroy_container(entry.container)
                 self.evicted_ttl += 1
                 evicted += 1
+                self._emit("pool.evict", image=image_name, reason="ttl",
+                           idle=now - entry.parked_at)
             if not queue:
                 del self._parked[image_name]
         return evicted

@@ -28,7 +28,8 @@ class RaiCLI:
     """Parses ``rai <subcommand>`` strings and drives a client."""
 
     SUBCOMMANDS = ("run", "submit", "ranking", "history", "download",
-                   "stats", "top", "trace", "version", "help")
+                   "stats", "top", "trace", "slo", "alerts", "events",
+                   "version", "help")
 
     def __init__(self, system, client: RaiClient):
         self.system = system
@@ -135,8 +136,8 @@ class RaiCLI:
             f"queue={system.queue_depth()}  "
             f"in-flight={int(system.metrics.gauge('in_flight').value)}  "
             f"dead-letters={system.broker.dead_letter_count()}",
-            f"sched wait: p50={fmt(wait.percentile(50))}s  "
-            f"p95={fmt(wait.percentile(95))}s  "
+            f"sched wait: p50={fmt(wait.percentile(50) if wait.count else None)}s  "
+            f"p95={fmt(wait.percentile(95) if wait.count else None)}s  "
             f"ewma={fmt(sched.wait_ewma() if sched else None)}s  "
             f"dispatched={wait.count}",
             f"fleet: slots busy "
@@ -182,6 +183,98 @@ class RaiCLI:
             return (f"rai trace: no trace recorded for {target!r} "
                     f"(evicted, or submitted before tracing started?)\n")
         return render_trace_report(trace) + "\n"
+
+    def _cmd_slo(self, args: List[str]) -> str:
+        """``rai slo`` — judge every objective now and print burn rates.
+
+        For a burning latency objective the exemplar trace ids of jobs
+        that individually blew the threshold are listed; each resolves
+        with ``rai trace <trace_id>`` (or via its job id).
+        """
+        from repro.analysis.report import render_table
+
+        system = self.system
+        statuses = system.slo_engine.evaluate()
+        if not statuses:
+            return "No SLOs configured on this deployment.\n"
+        rows = []
+        exemplar_lines: List[str] = []
+        for status in statuses:
+            spec = status.spec
+            rows.append([
+                spec.name,
+                status.state,
+                f"{spec.target:.0%}",
+                f"{status.fast.burn_rate:.2f}x",
+                f"{status.slow.burn_rate:.2f}x",
+                int(status.fast.total),
+            ])
+            for exemplar in status.exemplars:
+                trace = system.tracer.store.trace(exemplar.trace_id)
+                jobs = ",".join(trace.job_ids) if trace is not None \
+                    and trace.job_ids else "?"
+                exemplar_lines.append(
+                    f"  {spec.name}: {exemplar.value:.1f}s over "
+                    f"{spec.threshold:g}s — trace {exemplar.trace_id} "
+                    f"(job {jobs})")
+        text = render_table(
+            ["objective", "state", "target", "burn(fast)", "burn(slow)",
+             "events"],
+            rows, title=f"SLOs at t={system.sim.now:.0f}s")
+        if exemplar_lines:
+            text += ("\nexemplars (inspect with rai trace <id>):\n"
+                     + "\n".join(exemplar_lines))
+        return text + "\n"
+
+    def _cmd_alerts(self, args: List[str]) -> str:
+        """``rai alerts`` — evaluate all alert sources and list incidents.
+
+        Active alerts first, then the most recent resolved incidents.
+        """
+        from repro.analysis.report import render_table
+
+        system = self.system
+        system.alerts.check(scrape=True)
+        incidents = system.alerts.incidents()
+        if not incidents:
+            return "No alerts have fired on this deployment.\n"
+        rows = []
+        ordered = ([a for a in incidents if a.active]
+                   + [a for a in reversed(incidents) if not a.active][:10])
+        for alert in ordered:
+            resolved = ("-" if alert.resolved_at is None
+                        else f"{alert.resolved_at:.0f}s")
+            rows.append([alert.name, alert.state, alert.severity,
+                         f"{alert.fired_at:.0f}s", resolved, alert.summary])
+        return render_table(
+            ["alert", "state", "severity", "fired", "resolved", "summary"],
+            rows, title=f"alerts at t={system.sim.now:.0f}s") + "\n"
+
+    def _cmd_events(self, args: List[str]) -> str:
+        """``rai events [job_id|type|tail N]`` — query the event log."""
+        log = self.system.events
+        if args and args[0] == "tail":
+            n = int(args[1]) if len(args) > 1 else 20
+            events = log.tail(n)
+        elif args and "." in args[0]:
+            events = log.query(prefix=args[0]) if args[0].endswith(".") \
+                else log.query(type=args[0])
+        elif args:
+            events = log.events_for_job(args[0])
+        else:
+            events = log.tail(20)
+        if not events:
+            return "No matching events.\n"
+        lines = []
+        for event in events:
+            tags = " ".join(f"{k}={v}" for k, v in event.fields.items())
+            link = f" [trace {event.trace_id}]" if event.trace_id else ""
+            lines.append(f"t={event.time:>10.1f}  {event.type:<22} "
+                         f"{tags}{link}")
+        stats = log.stats()
+        lines.append(f"({len(events)} shown; {stats['emitted']} emitted, "
+                     f"{stats['dropped']} dropped)")
+        return "\n".join(lines) + "\n"
 
     def _cmd_version(self, args: List[str]) -> str:
         info = build_info()

@@ -252,6 +252,11 @@ class RaiClient:
         result.queued_at = self.sim.now
         self.system.monitor.incr("jobs_submitted")
         self.system.monitor.record_submission(self.sim.now, kind)
+        events = getattr(self.system, "events", None)
+        if events is not None:
+            events.emit("job.state_change", span=span, job_id=job_id,
+                        team=self.team, status="queued",
+                        username=self.username, kind=kind.value)
 
         if wait_timeout is None:
             wait_timeout = self.system.config.client_wait_timeout_seconds
@@ -312,9 +317,17 @@ class RaiClient:
                                    message=result.error)
             else:
                 tracer.end_subtree(span)
-            # Queue→End latency, bucketed for the operator report.
+            # Queue→End latency, bucketed for the operator report; the
+            # trace id pins an exemplar so a slow bucket names its job.
             self.system.metrics.histogram("job_turnaround_seconds").observe(
-                (result.finished_at or self.sim.now) - job.submitted_at)
+                (result.finished_at or self.sim.now) - job.submitted_at,
+                trace_id=span.trace_id, at=self.sim.now)
+            events = getattr(self.system, "events", None)
+            if events is not None and result.status in (
+                    JobStatus.TIMEOUT, JobStatus.REJECTED):
+                events.emit("job.state_change", span=span, job_id=job_id,
+                            team=self.team, status=result.status.value,
+                            client_final=True)
 
         # Steps 7/8 — the worker already recorded finals in the ranking DB;
         # surface the team's rank on the result for convenience.

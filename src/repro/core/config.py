@@ -129,3 +129,24 @@ class SystemConfig:
     deadline_boost_window_seconds: float = 24 * 3600.0
     #: Executor-seconds each queued team accrues per fair-share round.
     sched_quantum_seconds: float = 5.0
+    #: Structured event log (``repro.obs.events``).  Like tracing it is
+    #: passive bookkeeping — disabling changes no simulated timing.
+    event_log_enabled: bool = True
+    #: Ring capacity of the event log (oldest records drop first).
+    event_log_max_events: int = 4096
+    #: Metrics-scraper snapshot cadence on the sim clock (the SLO
+    #: engine's time-series resolution when ``start_observability`` runs).
+    scrape_interval_seconds: float = 60.0
+    #: Ring capacity of scraper snapshots (256 × 60 s ≈ 4 h of history).
+    scrape_max_samples: int = 256
+    #: SLO burn-rate windows: the standard fast (page on a spike) and
+    #: slow (confirm it is sustained) pair.
+    slo_fast_window_seconds: float = 300.0
+    slo_slow_window_seconds: float = 3600.0
+    #: Burn rate at/over which *both* windows must sit to fire an alert.
+    #: 1.0 = eating the error budget exactly as fast as allowed.
+    slo_burn_rate_threshold: float = 1.0
+    #: Default objective: p95 queue wait stays under this bound.
+    slo_queue_wait_p95_seconds: float = 30.0
+    #: Default objective: submission success ratio target.
+    slo_success_target: float = 0.99

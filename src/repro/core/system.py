@@ -21,7 +21,11 @@ from repro.core.ranking import RankingService
 from repro.core.ratelimit import RateLimiter
 from repro.core.worker import RaiWorker
 from repro.docdb.database import DocumentDB
+from repro.obs.alerts import AlertManager
+from repro.obs.events import EventLog
 from repro.obs.metrics import CounterGroup, MetricsRegistry
+from repro.obs.scrape import MetricsScraper
+from repro.obs.slo import SloEngine, default_slos
 from repro.obs.store import TraceStore
 from repro.obs.tracer import Tracer
 from repro.sched import JobScheduler, RuntimeEstimator, SchedulerPolicy
@@ -77,9 +81,16 @@ class RaiSystem:
             store=TraceStore(max_traces=self.config.trace_max_traces),
             enabled=self.config.tracing_enabled,
             metrics=self.metrics)
+        #: The deployment-wide structured event log: state changes, slot
+        #: churn, redeliveries, faults, pool traffic, scaling decisions,
+        #: alert transitions — one queryable, trace-linked stream.
+        self.events = EventLog(
+            clock=lambda: self.sim.now,
+            max_events=self.config.event_log_max_events,
+            enabled=self.config.event_log_enabled)
 
         self.broker = MessageBroker(self.sim, metrics=self.metrics,
-                                    tracer=self.tracer)
+                                    tracer=self.tracer, events=self.events)
         self.storage = ObjectStore(self.sim,
                                    chunk_size=self.config.chunk_size_bytes)
         self.db = DocumentDB(self.sim, metrics=self.metrics)
@@ -112,7 +123,7 @@ class RaiSystem:
                     deadline_window_seconds=self.config
                     .deadline_boost_window_seconds),
                 estimator=RuntimeEstimator(history_fn=self._service_history),
-                metrics=self.metrics)
+                metrics=self.metrics, events=self.events)
             self.broker.channel("rai/tasks").scheduler = self.scheduler
 
         # File-server buckets and the paper's lifetime rules (§IV/§V):
@@ -146,6 +157,28 @@ class RaiSystem:
         self.metrics.gauge("fleet_slot_utilization",
                            fn=self.fleet_slot_utilization)
         self.metrics.gauge("warm_pool_hit_rate", fn=self.fleet_pool_hit_rate)
+
+        # The SLO loop: scraper (registry snapshots on the sim clock) →
+        # engine (multi-window burn rates over the default objectives) →
+        # alert manager (fire/resolve, recorded back into the event log).
+        # All three are always constructed — `rai slo`/`rai alerts` work
+        # on demand; :meth:`start_observability` adds the periodic loop.
+        self.scraper = MetricsScraper(
+            self.metrics, clock=lambda: self.sim.now,
+            interval=self.config.scrape_interval_seconds,
+            max_samples=self.config.scrape_max_samples)
+        self.slo_engine = SloEngine(
+            self.scraper,
+            specs=default_slos(
+                queue_wait_p95_seconds=self.config
+                .slo_queue_wait_p95_seconds,
+                success_target=self.config.slo_success_target),
+            fast_window=self.config.slo_fast_window_seconds,
+            slow_window=self.config.slo_slow_window_seconds,
+            burn_rate_threshold=self.config.slo_burn_rate_threshold)
+        self.alerts = AlertManager(clock=lambda: self.sim.now,
+                                   events=self.events)
+        self.alerts.attach_slo_engine(self.slo_engine)
 
     # -- construction helpers ------------------------------------------------
 
@@ -214,6 +247,26 @@ class RaiSystem:
         return self.sim.process(self.broker.caretaker(
             interval=interval, in_flight_timeout=in_flight_timeout))
 
+    def start_observability(self):
+        """Start the periodic scrape → SLO-judge → alert loop.
+
+        Opt-in like the caretaker (a perpetual process); also arms the
+        scraper's own heartbeat watchdog, so a wedged loop is itself an
+        alert.  Without this, ``rai slo`` / ``rai alerts`` still work by
+        scraping on demand — they just lack between-call history.
+        """
+        self.alerts.watch_heartbeat(
+            "metrics-scraper",
+            lambda: self.scraper.last_scrape_at,
+            grace=3 * self.scraper.interval,
+            summary="metrics scraper has stopped taking snapshots")
+
+        def _on_scrape(snapshot):
+            self.alerts.check(now=snapshot.time, scrape=False)
+
+        return self.sim.process(
+            self.scraper.process(self.sim, on_scrape=_on_scrape))
+
     # -- failure recovery ------------------------------------------------------
 
     def drain_dead_letters(self) -> int:
@@ -257,6 +310,13 @@ class RaiSystem:
             self.monitor.log("dead_letter_drained", route=route,
                              message_id=message.id, job_id=job_id,
                              attempts=message.attempts)
+            headers = message.headers or {}
+            self.events.emit("job.state_change",
+                             trace_id=headers.get("trace_id"),
+                             span_id=headers.get("span_id"),
+                             job_id=job_id, team=body.get("team"),
+                             status=JobStatus.DEAD_LETTERED.value,
+                             route=route, attempts=message.attempts)
         return drained
 
     def start_dead_letter_consumer(self, interval: Optional[float] = None):
@@ -359,4 +419,7 @@ class RaiSystem:
                 "accepted": self.rate_limiter.total_accepted,
                 "rejected": self.rate_limiter.total_rejected,
             },
+            "events": self.events.stats(),
+            "alerts": (self.alerts.stats() if self.alerts is not None
+                       else {}),
         }

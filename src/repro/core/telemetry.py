@@ -60,6 +60,30 @@ class TelemetrySampler:
             else self.started_at
         return now - last > 2 * self.interval
 
+    def notify_alerts(self, alerts=None) -> None:
+        """Route the stuck/recovered state through the alert manager.
+
+        Firing is idempotent per incident: however often this runs (each
+        ``health_report`` call does), a stall opens exactly one
+        ``stuck:telemetry-sampler`` incident, resolved when heartbeats
+        resume — the incident history is the audit trail.
+        """
+        if alerts is None:
+            alerts = getattr(self.system, "alerts", None)
+        if alerts is None:
+            return
+        now = self.system.sim.now
+        if self.is_stuck(now):
+            last = self.last_heartbeat_at if self.last_heartbeat_at \
+                is not None else self.started_at
+            alerts.fire("stuck:telemetry-sampler",
+                        summary=f"no telemetry heartbeat for "
+                                f"{now - last:.0f}s "
+                                f"(interval {self.interval:.0f}s)",
+                        last_beat=last, interval=self.interval)
+        else:
+            alerts.resolve("stuck:telemetry-sampler")
+
     def run(self):
         """Kernel process; start with ``sim.process(sampler.run())``.
 
@@ -128,13 +152,26 @@ def health_report(system, sampler: Optional[TelemetrySampler] = None) -> str:
         for signal in ("queue_depth", "workers_running", "jobs_active"):
             rows.append([f"{signal} (avg)", f"{sampler.average(signal):.2f}"])
             rows.append([f"{signal} (peak)", f"{sampler.peak(signal):.0f}"])
-        if sampler.is_stuck():
-            last = sampler.last_heartbeat_at \
-                if sampler.last_heartbeat_at is not None \
-                else sampler.started_at
-            rows.append(["⚠ ALERT telemetry sampler stuck",
-                         f"no heartbeat for "
-                         f"{system.sim.now - last:.0f}s "
-                         f"(interval {sampler.interval:.0f}s)"])
+        sampler.notify_alerts()
+    # Active alerts (one row per *incident*, however often this report
+    # runs) — the stuck-sampler warning and every SLO burn land here.
+    alerts = getattr(system, "alerts", None)
+    if alerts is not None:
+        for alert in alerts.active():
+            rows.append([f"⚠ ALERT {alert.name}",
+                         f"{alert.summary} "
+                         f"(firing since t={alert.fired_at:.0f}s)"])
+        resolved = alerts.total_resolved
+        if resolved:
+            rows.append(["alerts resolved", resolved])
+    elif sampler is not None and sampler.is_stuck():
+        # Bare harnesses without an AlertManager keep the legacy row.
+        last = sampler.last_heartbeat_at \
+            if sampler.last_heartbeat_at is not None \
+            else sampler.started_at
+        rows.append(["⚠ ALERT telemetry sampler stuck",
+                     f"no heartbeat for "
+                     f"{system.sim.now - last:.0f}s "
+                     f"(interval {sampler.interval:.0f}s)"])
     return render_table(["metric", "value"], rows,
                         title="RAI deployment health")

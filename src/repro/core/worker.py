@@ -74,7 +74,11 @@ class RaiWorker:
             ttl_seconds=self.config.warm_pool_ttl_seconds,
             create_seconds=self.config.container_create_seconds,
             reset_seconds=self.config.container_reset_seconds,
+            events=getattr(system, "events", None),
+            owner=self.id,
         )
+        #: The deployment event log (None for bare test harnesses).
+        self.events = getattr(system, "events", None)
         self._rng = system.rng.stream(f"worker:{self.id}")
         # Backoff jitter draws from its own stream so retries never perturb
         # the timing-noise sequence of a fault-free run with the same seed.
@@ -115,9 +119,14 @@ class RaiWorker:
             proc.callbacks.append(_defuse_interrupt_failure)
             self._executors.append(proc)
 
+    def _emit(self, type: str, span=None, **fields) -> None:
+        if self.events is not None:
+            self.events.emit(type, span=span, worker=self.id, **fields)
+
     def _spawn_slot(self) -> int:
         slot = next(self._slot_counter)
         self._slot_open[slot] = self.sim.now
+        self._emit("worker.slot", action="open", slot=slot)
         proc = self.sim.process(self._executor_loop(slot))
         # A stop() interrupt can land before an executor's generator has
         # even started, in which case the Interrupt escapes the loop's try
@@ -139,6 +148,7 @@ class RaiWorker:
         opened_at = self._slot_open.pop(slot, None)
         if opened_at is not None:
             self._slot_seconds_closed += self.sim.now - opened_at
+            self._emit("worker.slot", action="close", slot=slot)
 
     @property
     def slot_count(self) -> int:
@@ -180,6 +190,7 @@ class RaiWorker:
         be robust to failures").
         """
         self._crashed = True
+        self._emit("worker.crash", active_jobs=self.active_jobs)
         tracer = self.system.tracer
         for span in list(self._active_spans):
             span.add_event("fault.worker_crash", worker=self.id)
@@ -323,6 +334,9 @@ class RaiWorker:
         build_url = None
         try:
             publish("status", status="accepted")
+            self._emit("job.state_change", span=wspan, job_id=job.id,
+                       team=job.team, status="accepted",
+                       attempt=message.attempts)
 
             # Step 2 — credentials and spec.
             try:
@@ -419,6 +433,9 @@ class RaiWorker:
                 container.time_dilation = self._timing_noise
                 container.start()
                 publish("status", status="running", container=container.id)
+                self._emit("job.state_change", span=wspan, job_id=job.id,
+                           team=job.team, status="running",
+                           container=container.id)
                 run_span = tracer.start_span(
                     "container.run", parent=wspan, kind="container",
                     attributes={"image": spec.image,
@@ -536,6 +553,14 @@ class RaiWorker:
             else:
                 self.jobs_failed += 1
             if not self._crashed:
+                # A crashed worker's job is not *finished* — the broker
+                # redelivers it, and that attempt reports the outcome.
+                # Only real terminations feed the success-ratio SLO.
+                self.system.metrics.counter(
+                    "jobs_finished", status=status.value).inc()
+                self._emit("job.state_change", span=wspan, job_id=job.id,
+                           team=job.team, status=status.value,
+                           exit_code=exit_code, worker_final=True)
                 # A crashed worker cannot publish; its client keeps
                 # waiting until redelivery produces a real End.  The End
                 # message carries the publish span's context so the

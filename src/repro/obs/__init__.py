@@ -9,8 +9,17 @@ publish; retries and injected faults land as span events, so a chaos
 run is explainable job by job.  The metrics registry is the single home
 for what used to be ad-hoc counter islands, and callback-backed gauges
 feed the telemetry sampler and operator report from one definition.
+
+The loop closes with :mod:`repro.obs.events` (the deployment-wide
+structured event stream), :mod:`repro.obs.scrape` (windowed registry
+snapshots), :mod:`repro.obs.slo` (declarative objectives with
+multi-window burn rates), and :mod:`repro.obs.alerts` (fire/resolve
+incident management) — metrics judge themselves, alerts land back in
+the event log, and histogram exemplars link a burned objective to the
+exact traces that burned it.
 """
 
+from repro.obs.alerts import Alert, AlertManager
 from repro.obs.context import (
     TraceContext,
     new_span_id,
@@ -24,13 +33,17 @@ from repro.obs.export import (
     span_to_dict,
     trace_to_dict,
 )
+from repro.obs.events import Event, EventLog, EventType
 from repro.obs.metrics import (
     Counter,
     CounterGroup,
+    Exemplar,
     Gauge,
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.scrape import MetricsScraper, MetricsSnapshot
+from repro.obs.slo import SloEngine, SloSpec, SloStatus, default_slos
 from repro.obs.span import NOOP_SPAN, NoopSpan, Span, SpanStatus
 from repro.obs.store import Trace, TraceStore
 from repro.obs.tracer import Tracer
@@ -47,6 +60,11 @@ __all__ = [
     "Span", "NoopSpan", "NOOP_SPAN", "SpanStatus",
     "Tracer", "Trace", "TraceStore",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "CounterGroup",
+    "Exemplar",
+    "Event", "EventLog", "EventType",
+    "MetricsScraper", "MetricsSnapshot",
+    "SloSpec", "SloEngine", "SloStatus", "default_slos",
+    "Alert", "AlertManager",
     "span_to_dict", "trace_to_dict", "export_trace_json",
     "export_spans_jsonl", "export_metrics_json",
     "critical_path", "critical_path_report", "render_waterfall",

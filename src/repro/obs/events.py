@@ -1,0 +1,213 @@
+"""The deployment-wide structured event log.
+
+Traces answer "what happened inside *this* job"; metrics answer "how
+much, in aggregate".  The event log sits between them: a single
+time-ordered stream of typed, labelled records — state changes, slot
+churn, redeliveries, fault injections, pool hits, scaling decisions,
+alert transitions — that an operator can query by job, by team, by type,
+or by time window (Ray's event-log/dashboard design applied to a
+submission system).  Every event may carry a ``trace_id``/``span_id``,
+so any log line links straight to its waterfall (``rai trace``).
+
+The log is a ring buffer: a course-length run emits far more events than
+an operator will ever page through, so only the most recent
+``max_events`` are kept (drop count is tracked).  Emission is cheap and
+allocation-light — one ``Event`` and a deque append — and a disabled log
+costs a single attribute check, so the hot path can emit unconditionally.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Callable, Deque, Dict, Iterator, List, Optional
+
+
+class EventType:
+    """Well-known event types (plain strings; emitters may add more).
+
+    Dotted namespaces group related records: everything under ``job.``
+    concerns one submission's lifecycle, ``broker.`` the message plane,
+    and so on.  The constants exist for greppability — the log itself
+    accepts any string.
+    """
+
+    JOB_STATE_CHANGE = "job.state_change"
+    WORKER_SLOT = "worker.slot"
+    WORKER_CRASH = "worker.crash"
+    BROKER_REDELIVER = "broker.redeliver"
+    BROKER_DEAD_LETTER = "broker.dead_letter"
+    FAULT_INJECTED = "fault.injected"
+    POOL_HIT = "pool.hit"
+    POOL_MISS = "pool.miss"
+    POOL_EVICT = "pool.evict"
+    AUTOSCALE_DECISION = "autoscale.decision"
+    SCHED_DISPATCH = "sched.dispatch"
+    ALERT_FIRED = "alert.fired"
+    ALERT_RESOLVED = "alert.resolved"
+
+
+class Event:
+    """One timestamped, typed record with free-form labelled fields."""
+
+    __slots__ = ("time", "type", "trace_id", "span_id", "fields")
+
+    def __init__(self, time: float, type: str,
+                 trace_id: Optional[str] = None,
+                 span_id: Optional[str] = None,
+                 fields: Optional[dict] = None):
+        self.time = float(time)
+        self.type = type
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.fields: dict = fields if fields is not None else {}
+
+    @property
+    def job_id(self) -> Optional[str]:
+        job_id = self.fields.get("job_id")
+        return str(job_id) if job_id is not None else None
+
+    @property
+    def team(self) -> Optional[str]:
+        team = self.fields.get("team")
+        return str(team) if team is not None else None
+
+    def to_dict(self) -> dict:
+        out = {"t": self.time, "type": self.type}
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        if self.span_id is not None:
+            out["span_id"] = self.span_id
+        out["fields"] = dict(self.fields)
+        return out
+
+    def __repr__(self):
+        tags = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"<Event t={self.time:g} {self.type} {tags}>"
+
+
+class EventLog:
+    """Ring-buffered, queryable stream of :class:`Event` records."""
+
+    def __init__(self, clock: Callable[[], float],
+                 max_events: int = 4096,
+                 enabled: bool = True):
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.clock = clock
+        self.max_events = max_events
+        self.enabled = enabled
+        self._events: Deque[Event] = deque(maxlen=max_events)
+        self.total_emitted = 0
+        #: Emission tallies per event type (never truncated, unlike the
+        #: ring itself) — ``rai alerts``/reports read rates off these.
+        self.counts: Dict[str, int] = {}
+
+    # -- ingest ------------------------------------------------------------
+
+    def emit(self, type: str, span=None,
+             trace_id: Optional[str] = None,
+             span_id: Optional[str] = None,
+             at: Optional[float] = None,
+             **fields) -> Optional[Event]:
+        """Append one event; returns it (or None when the log is off).
+
+        ``span`` is a convenience: a live :class:`~repro.obs.span.Span`
+        donates its trace/span ids (a ``NoopSpan``'s ids are None, so a
+        tracing-disabled run degrades to unlinked events, not errors).
+        """
+        if not self.enabled:
+            return None
+        if span is not None:
+            if trace_id is None:
+                trace_id = span.trace_id
+            if span_id is None:
+                span_id = span.span_id
+        event = Event(self.clock() if at is None else at, type,
+                      trace_id=trace_id, span_id=span_id, fields=fields)
+        self._events.append(event)
+        self.total_emitted += 1
+        self.counts[type] = self.counts.get(type, 0) + 1
+        return event
+
+    # -- query ------------------------------------------------------------
+
+    def query(self, type: Optional[str] = None,
+              prefix: Optional[str] = None,
+              job_id=None, team: Optional[str] = None,
+              trace_id: Optional[str] = None,
+              since: Optional[float] = None,
+              until: Optional[float] = None,
+              limit: Optional[int] = None) -> List[Event]:
+        """Filter the retained window; all criteria AND together.
+
+        ``type`` matches exactly; ``prefix`` matches a dotted namespace
+        (``"pool."`` catches hits, misses, and evictions).  ``limit``
+        keeps the *most recent* N matches.
+        """
+        job_id = str(job_id) if job_id is not None else None
+        out: List[Event] = []
+        for event in self._events:
+            if type is not None and event.type != type:
+                continue
+            if prefix is not None and not event.type.startswith(prefix):
+                continue
+            if job_id is not None and event.job_id != job_id:
+                continue
+            if team is not None and event.team != team:
+                continue
+            if trace_id is not None and event.trace_id != trace_id:
+                continue
+            if since is not None and event.time < since:
+                continue
+            if until is not None and event.time > until:
+                continue
+            out.append(event)
+        if limit is not None and len(out) > limit:
+            out = out[-limit:]
+        return out
+
+    def events_for_job(self, job_id) -> List[Event]:
+        """The one-job audit trail (client accept → terminal state)."""
+        return self.query(job_id=job_id)
+
+    def tail(self, n: int = 20) -> List[Event]:
+        """The most recent ``n`` events."""
+        if n <= 0:
+            return []
+        return list(self._events)[-n:]
+
+    @property
+    def dropped(self) -> int:
+        """Events emitted but no longer retained (ring overflow)."""
+        return self.total_emitted - len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    # -- export ------------------------------------------------------------
+
+    def export_jsonl(self, path: Optional[str] = None,
+                     events: Optional[List[Event]] = None) -> str:
+        """Events as JSONL, one per line (the whole ring by default)."""
+        if events is None:
+            events = list(self._events)
+        lines = [json.dumps(e.to_dict()) for e in events]
+        text = "\n".join(lines) + ("\n" if lines else "")
+        if path is not None:
+            with open(path, "w") as fh:
+                fh.write(text)
+        return text
+
+    def stats(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "retained": len(self._events),
+            "emitted": self.total_emitted,
+            "dropped": self.dropped,
+            "max_events": self.max_events,
+            "by_type": dict(sorted(self.counts.items())),
+        }

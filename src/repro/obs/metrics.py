@@ -107,10 +107,37 @@ class Gauge(Metric):
         return f"{self.value:g}"
 
 
+class Exemplar:
+    """One concrete observation pinned to a histogram bucket.
+
+    The metric→trace link: a latency histogram can say "p95 blew the
+    objective", and the exemplar names an actual ``trace_id`` that
+    landed in the offending bucket — ``rai trace`` then shows *why*
+    that job was slow.  Each bucket keeps only its latest exemplar, so
+    the memory cost is one small record per bucket.
+    """
+
+    __slots__ = ("trace_id", "value", "time")
+
+    def __init__(self, trace_id: str, value: float, time: float):
+        self.trace_id = trace_id
+        self.value = value
+        self.time = time
+
+    def to_dict(self) -> dict:
+        return {"trace_id": self.trace_id, "value": self.value,
+                "t": self.time}
+
+    def __repr__(self):
+        return (f"<Exemplar {self.trace_id} value={self.value:g} "
+                f"t={self.time:g}>")
+
+
 class Histogram(Metric):
     """Bucketed observations (cumulative counts, Prometheus-style)."""
 
-    __slots__ = ("buckets", "bucket_counts", "count", "sum", "min", "max")
+    __slots__ = ("buckets", "bucket_counts", "count", "sum", "min", "max",
+                 "exemplars")
 
     def __init__(self, name: str, labels: dict,
                  buckets: Tuple[float, ...] = DEFAULT_BUCKETS):
@@ -120,12 +147,16 @@ class Histogram(Metric):
             raise ValueError("histogram needs at least one bucket bound")
         self.buckets = bounds + (math.inf,)
         self.bucket_counts = [0] * len(self.buckets)
+        #: Latest :class:`Exemplar` per bucket (None until a traced
+        #: observation lands there).
+        self.exemplars: List[Optional[Exemplar]] = [None] * len(self.buckets)
         self.count = 0
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: Optional[str] = None,
+                at: float = 0.0) -> None:
         value = float(value)
         self.count += 1
         self.sum += value
@@ -134,6 +165,8 @@ class Histogram(Metric):
         for i, bound in enumerate(self.buckets):
             if value <= bound:
                 self.bucket_counts[i] += 1
+                if trace_id is not None:
+                    self.exemplars[i] = Exemplar(trace_id, value, at)
                 break
 
     @property
@@ -141,10 +174,33 @@ class Histogram(Metric):
         """The running mean (a histogram's one-number summary)."""
         return self.sum / self.count if self.count else math.nan
 
+    def exemplars_above(self, threshold: float,
+                        since: Optional[float] = None) -> List[Exemplar]:
+        """Exemplars from buckets whose entire range exceeds ``threshold``.
+
+        The objective-violation query: for "p95 < 30 s", the exemplars
+        of every bucket with lower bound >= 30 s name jobs that
+        individually blew the objective.  ``since`` drops exemplars
+        captured before a window start.
+        """
+        out: List[Exemplar] = []
+        lower = 0.0
+        for bound, exemplar in zip(self.buckets, self.exemplars):
+            if lower >= threshold and exemplar is not None:
+                if since is None or exemplar.time >= since:
+                    out.append(exemplar)
+            lower = bound
+        return out
+
     def percentile(self, q: float) -> float:
-        """Estimated q-th percentile via linear in-bucket interpolation."""
+        """Estimated q-th percentile via linear in-bucket interpolation.
+
+        An empty histogram reports 0.0 — the identity for "no latency
+        observed yet" — so report code can format the result without a
+        NaN guard at every call site.
+        """
         if not self.count:
-            return math.nan
+            return 0.0
         target = self.count * q / 100.0
         cumulative = 0
         lower = self.min if math.isfinite(self.min) else 0.0
@@ -172,6 +228,8 @@ class Histogram(Metric):
             "buckets": {
                 ("inf" if math.isinf(b) else f"{b:g}"): c
                 for b, c in zip(self.buckets, self.bucket_counts)},
+            "exemplars": [e.to_dict() for e in self.exemplars
+                          if e is not None],
         }
 
     def describe(self) -> str:

@@ -63,11 +63,13 @@ class JobScheduler:
 
     def __init__(self, clock, policy: Optional[SchedulerPolicy] = None,
                  estimator: Optional[RuntimeEstimator] = None,
-                 metrics=None):
+                 metrics=None, events=None):
         self.clock = clock
         self.policy = policy or SchedulerPolicy()
         self.estimator = estimator or RuntimeEstimator()
         self.metrics = metrics
+        #: Optional :class:`~repro.obs.events.EventLog` for dispatch records.
+        self.events = events
         self._deficits: Dict[str, float] = {}
         self.total_dispatched = 0
         self.total_boosted = 0
@@ -175,8 +177,22 @@ class JobScheduler:
         key = self._key(msg)
         self._team_wait_sum[key] = self._team_wait_sum.get(key, 0.0) + wait
         self._team_wait_count[key] = self._team_wait_count.get(key, 0) + 1
+        headers = getattr(msg, "headers", None) or {}
+        trace_id = headers.get("trace_id")
         if self.metrics is not None:
-            self.metrics.histogram("sched_queue_wait_seconds").observe(wait)
+            # trace_id pins an exemplar to the wait's bucket: a burned
+            # queue-wait SLO names the exact job that waited this long.
+            self.metrics.histogram("sched_queue_wait_seconds").observe(
+                wait, trace_id=trace_id, at=now)
+        if self.events is not None:
+            body = getattr(msg, "body", None)
+            body = body if isinstance(body, dict) else {}
+            self.events.emit("sched.dispatch", at=now,
+                             trace_id=trace_id,
+                             span_id=headers.get("span_id"),
+                             job_id=body.get("job_id"), team=key or None,
+                             wait=round(wait, 6),
+                             boosted=self._boosted(msg))
 
     def note_completion(self, key: str, service_seconds: float) -> None:
         """Feed a finished job's service time back into the estimator."""

@@ -82,14 +82,23 @@ DEFAULT_SCALES = (
 
 def run_hotpath(scale: HotpathScale, seed: int = 408,
                 dedup: bool = True,
-                config: Optional[SystemConfig] = None) -> dict:
-    """Replay the resubmission storm at ``scale``; returns the metrics."""
+                config: Optional[SystemConfig] = None,
+                observability: bool = False) -> dict:
+    """Replay the resubmission storm at ``scale``; returns the metrics.
+
+    ``observability=True`` additionally starts the periodic scrape →
+    SLO-judge → alert loop (:meth:`RaiSystem.start_observability`), so
+    the bench can price the full event-log + alerting pipeline against
+    a run with the event log disabled and no scraping.
+    """
     wall_start = time.perf_counter()
     config = config or SystemConfig()
     config.dedup_uploads = dedup
     system = RaiSystem.standard(
         num_workers=scale.n_workers, seed=seed, config=config,
         worker_config=WorkerConfig(max_concurrent_jobs=2))
+    if observability:
+        system.start_observability()
     # Range-capable index so time-window queries below run indexed too.
     submissions = system.db.collection("submissions")
     submissions.create_index("finished_at", ordered=True)
@@ -169,6 +178,11 @@ def run_hotpath(scale: HotpathScale, seed: int = 408,
             "bytes_published": system.broker.total_bytes_published,
             "messages_published":
                 int(system.broker.counters.get("messages_published")),
+        },
+        "obs": {
+            "events_emitted": system.events.total_emitted,
+            "scrapes": system.scraper.total_scrapes,
+            "alerts_fired": system.alerts.total_fired,
         },
         "wall_clock_s": round(time.perf_counter() - wall_start, 3),
     }

@@ -105,3 +105,85 @@ class TestSubcommands:
 
     def test_top_listed_in_help(self, cli):
         assert "top" in cli.run_command("rai help")
+
+
+@pytest.mark.slo
+class TestObservabilityCommands:
+    """rai slo / rai alerts / rai events close the metric→trace loop."""
+
+    def _burned_system(self):
+        """One worker, six queued jobs: most waits blow the 30s bound."""
+        from repro.core.system import RaiSystem
+
+        system = RaiSystem.standard(num_workers=1, seed=13)
+        system.scraper.scrape_now()  # empty baseline at t=0
+        procs = []
+        for i in range(6):
+            c = system.new_client(team=f"team-{i}")
+            c.stage_project(FILES)
+            procs.append(system.sim.process(c.submit()))
+        for proc in procs:
+            system.run(proc)
+        return system
+
+    def _obs_cli(self, system):
+        from repro.core.cli import RaiCLI
+
+        return RaiCLI(system, system.new_client(team="operator"))
+
+    def test_slo_reports_burn_with_exemplar_traces(self):
+        import re
+
+        system = self._burned_system()
+        cli = self._obs_cli(system)
+        out = cli.run_command("rai slo")
+        assert "queue-wait-p95" in out
+        assert "burning" in out
+        assert "submission-success" in out    # healthy objective shown too
+        matches = re.findall(r"— trace (\S+) \(job (\S+)\)", out)
+        assert matches, f"no exemplar lines in:\n{out}"
+        # Every printed trace id resolves to a waterfall via rai trace.
+        for trace_id, job_id in matches:
+            report = cli.run_command(f"rai trace {trace_id}")
+            assert "no trace recorded" not in report
+            assert job_id in report
+
+    def test_slo_with_no_specs(self, system):
+        system.slo_engine.specs = []
+        assert "No SLOs configured" in \
+            self._obs_cli(system).run_command("rai slo")
+
+    def test_alerts_quiet_deployment(self, cli):
+        cli.run_command("rai run")
+        assert "No alerts have fired" in cli.run_command("rai alerts")
+
+    def test_alerts_lists_firing_then_resolved(self):
+        system = self._burned_system()
+        cli = self._obs_cli(system)
+        out = cli.run_command("rai alerts")
+        assert "slo:queue-wait-p95" in out
+        assert "firing" in out
+        assert "critical" in out
+        # Resolve it by hand; the incident stays in the report, resolved.
+        system.alerts.resolve("slo:queue-wait-p95")
+        system.slo_engine.specs = []          # nothing re-fires on check
+        out = cli.run_command("rai alerts")
+        assert "resolved" in out
+
+    def test_events_tail_and_job_query(self, cli):
+        cli.run_command("rai run")
+        out = cli.run_command("rai events")
+        assert "job.state_change" in out
+        assert "emitted" in out
+        job_id = cli.client.history[-1].job_id
+        per_job = cli.run_command(f"rai events {job_id}")
+        assert "status=succeeded" in per_job
+        assert "[trace " in per_job
+        by_type = cli.run_command("rai events pool.")
+        assert "pool." in by_type
+        assert "No matching events" in cli.run_command("rai events nope.")
+
+    def test_new_subcommands_listed_in_help(self, cli):
+        out = cli.run_command("rai help")
+        for sub in ("slo", "alerts", "events"):
+            assert sub in out

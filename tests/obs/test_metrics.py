@@ -91,10 +91,29 @@ class TestHistogram:
         # Interpolation resolves to the bucket bound, not the exact max.
         assert h.percentile(100) == pytest.approx(30.0)
 
-    def test_empty_percentile_nan(self):
+    def test_empty_percentile_zero(self):
+        # An empty histogram reports 0.0 so report code needs no NaN
+        # guard per call site; the mean stays NaN (no meaningful value).
         h = MetricsRegistry().histogram("lat")
-        assert math.isnan(h.percentile(50))
+        assert h.percentile(50) == 0.0
+        assert h.percentile(95) == 0.0
         assert math.isnan(h.value)
+
+    def test_percentile_bucket_boundaries(self):
+        h = MetricsRegistry().histogram("lat", buckets=(10.0, 20.0, 30.0))
+        # Exactly on a bound lands in that bound's bucket (<=).
+        for v in (10.0, 20.0, 30.0):
+            h.observe(v)
+        assert h.bucket_counts[:3] == [1, 1, 1]
+        assert h.percentile(100) == pytest.approx(30.0)
+        # A single observation: every percentile within its bucket.
+        single = MetricsRegistry().histogram("one", buckets=(10.0,))
+        single.observe(5.0)
+        assert 5.0 <= single.percentile(50) <= 10.0
+        # Overflow bucket: interpolation is bounded by the observed max.
+        over = MetricsRegistry().histogram("over", buckets=(1.0,))
+        over.observe(100.0)
+        assert over.percentile(99) <= 100.0
 
     def test_to_dict_buckets(self):
         h = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0))

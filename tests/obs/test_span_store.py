@@ -166,3 +166,40 @@ class TestTraceStore:
         assert stats["live_traces"] == 1
         assert stats["spans_total"] == 2
         open_span.end()
+
+    def test_eviction_cleans_every_job_binding(self, clock):
+        """A trace bound to several job ids drops ALL of them on evict.
+
+        Redelivered jobs (and batch traces) can bind one trace to more
+        than one id; eviction must leave no dangling index entries, or a
+        later ``trace_for_job`` would return a reaped trace.
+        """
+        tracer = Tracer(clock=clock, store=TraceStore(max_traces=1))
+        multi = tracer.start_span("multi", job_id="j-a")
+        tracer.store.bind_job("j-b", multi.trace_id)
+        multi.end()
+        store = tracer.store
+        assert store.trace_for_job("j-a") is not None
+        assert store.trace_for_job("j-b") is not None
+        tracer.start_span("next", job_id="j-c").end()  # evicts `multi`
+        assert store.trace(multi.trace_id) is None
+        assert store.trace_for_job("j-a") is None
+        assert store.trace_for_job("j-b") is None
+        assert store.trace_for_job("j-c") is not None
+        assert store.job_ids() == ["j-c"]
+
+    def test_export_spans_jsonl_empty_store(self, tmp_path):
+        from repro.obs.export import export_spans_jsonl
+
+        store = TraceStore()
+        assert export_spans_jsonl(store) == ""
+        path = tmp_path / "spans.jsonl"
+        export_spans_jsonl(store, str(path))
+        assert path.read_text() == ""
+
+    def test_export_spans_jsonl_empty_trace_and_list(self):
+        from repro.obs.export import export_spans_jsonl
+        from repro.obs.store import Trace
+
+        assert export_spans_jsonl([]) == ""
+        assert export_spans_jsonl(Trace("deadbeef")) == ""
