@@ -69,6 +69,26 @@ class KeyStore:
         self._by_user[username] = cred
         return cred
 
+    def restore_credential(self, doc: dict) -> Credential:
+        """Re-register a credential from its snapshot/journal document.
+
+        Recovery path: the key material already exists, so nothing is
+        drawn from the RNG — the restored deployment accepts exactly the
+        keys students already have in their ``.rai.profile`` files.
+        """
+        cred = Credential(
+            username=doc["username"],
+            access_key=doc["access_key"],
+            secret_key=doc["secret_key"],
+            team=doc.get("team"),
+            role=doc.get("role", "student"),
+            revoked=bool(doc.get("revoked", False)),
+            metadata=dict(doc.get("metadata", {})),
+        )
+        self._by_access[cred.access_key] = cred
+        self._by_user[cred.username] = cred
+        return cred
+
     def lookup(self, access_key: str) -> Credential:
         cred = self._by_access.get(access_key)
         if cred is None or cred.revoked:

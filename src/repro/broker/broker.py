@@ -53,6 +53,10 @@ class MessageBroker:
         #: through their topic's broker back-reference to record
         #: redeliveries and dead-letterings.
         self.events = events
+        #: Optional :class:`~repro.durability.DurabilityManager` journal.
+        #: When set, every durable-topic transition (publish, deliver,
+        #: ack, requeue, dead-letter) is appended to the write-ahead log.
+        self.journal = None
 
     # -- topology ------------------------------------------------------------
 
@@ -86,7 +90,9 @@ class MessageBroker:
     def delete_topic(self, name: str) -> None:
         if name not in self.topics:
             raise UnknownTopic(name)
-        del self.topics[name]
+        topic = self.topics.pop(name)
+        if self.journal is not None and not topic.ephemeral:
+            self.journal.broker_topic_delete(name)
         self.counters.incr("topics_deleted")
 
     def _reap_topic(self, topic: Topic) -> None:
@@ -117,7 +123,14 @@ class MessageBroker:
                 f"{size} bytes exceeds limit of {self.max_message_bytes}")
         msg = Message(topic_name, body, timestamp=self.sim.now,
                       payload=payload, headers=headers)
-        self.topic(topic_name).publish(msg)
+        topic = self.topic(topic_name)
+        if self.journal is not None and not topic.ephemeral:
+            # Journal before publish: a blocked consumer claims the
+            # message synchronously inside publish(), and its deliver
+            # record must follow this one in the log.
+            self.journal.broker_publish(topic_name, body, headers,
+                                        msg.id, msg.timestamp)
+        topic.publish(msg)
         self.counters.incr("messages_published")
         self.counters.incr("bytes_published", size)
         return msg

@@ -2,22 +2,39 @@
 
 from __future__ import annotations
 
-import itertools
 import json
 from typing import Any, Optional
 
-_id_counter = itertools.count(1)
+_next_message_id = 1
 
 
 def new_message_id() -> str:
     """Process-unique, deterministic message ids (``msg-000001`` ...)."""
-    return f"msg-{next(_id_counter):06d}"
+    global _next_message_id
+    message_id = f"msg-{_next_message_id:06d}"
+    _next_message_id += 1
+    return message_id
 
 
 def reset_message_ids() -> None:
     """Restart the id sequence (test isolation helper)."""
-    global _id_counter
-    _id_counter = itertools.count(1)
+    global _next_message_id
+    _next_message_id = 1
+
+
+def advance_message_ids(next_id: int) -> None:
+    """Ensure the next minted id is at least ``next_id`` (monotonic).
+
+    Recovery calls this so a restored deployment never re-mints an id a
+    pre-crash epoch already used.
+    """
+    global _next_message_id
+    _next_message_id = max(_next_message_id, int(next_id))
+
+
+def message_id_watermark() -> int:
+    """The next id this process would mint (snapshotted on checkpoint)."""
+    return _next_message_id
 
 
 def encode_body(body: Any) -> bytes:

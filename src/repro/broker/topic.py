@@ -49,6 +49,21 @@ class Channel(Store):
         going back to sleep on ``deliver()``."""
         return len(self.items)
 
+    def _journal(self):
+        """The deployment's durability journal, or None.
+
+        Ephemeral ``log_*`` topics are never journaled: their contents
+        die with the process by design, and logging every streamed log
+        line would dominate the WAL.
+        """
+        if self.topic.ephemeral:
+            return None
+        return getattr(self.topic.broker, "journal", None)
+
+    @property
+    def route(self) -> str:
+        return f"{self.topic.name}/{self.name}"
+
     def _pop_next(self) -> Message:
         if self.scheduler is not None and len(self.items) > 1:
             index = self.scheduler.select(self.items)
@@ -93,6 +108,9 @@ class Channel(Store):
         msg._channel = self
         self.in_flight[msg.id] = msg
         self.total_delivered += 1
+        journal = self._journal()
+        if journal is not None:
+            journal.broker_deliver(self.route, msg.id)
         self._trace_delivery(msg)
         if self.scheduler is not None:
             self.scheduler.note_dispatch(msg)
@@ -145,6 +163,9 @@ class Channel(Store):
     def ack(self, message: Message) -> None:
         self.in_flight.pop(message.id, None)
         self.total_acked += 1
+        journal = self._journal()
+        if journal is not None:
+            journal.broker_ack(self.route, message.id)
         self.topic._maybe_reap()
 
     def requeue(self, message: Message) -> bool:
@@ -153,12 +174,22 @@ class Channel(Store):
         Returns True if requeued, False if dead-lettered.
         """
         self.in_flight.pop(message.id, None)
+        journal = self._journal()
         if message.attempts >= self.max_attempts:
             self.dead_letters.append(message)
             self.total_dead_lettered += 1
+            if journal is not None:
+                journal.broker_requeue(self.route, message.id,
+                                       dead_lettered=True)
             self._emit_event("broker.dead_letter", message)
             return False
         self.total_requeued += 1
+        # Journal before put(): a blocked consumer claims the message
+        # synchronously inside put(), and its deliver record must land
+        # after this requeue record for replay to make sense.
+        if journal is not None:
+            journal.broker_requeue(self.route, message.id,
+                                   dead_lettered=False)
         self.put(message)
         return True
 
@@ -166,6 +197,11 @@ class Channel(Store):
         """Remove and return every dead-lettered message (for a consumer
         that routes poison messages somewhere durable)."""
         drained, self.dead_letters = self.dead_letters, []
+        if drained:
+            journal = self._journal()
+            if journal is not None:
+                journal.broker_dl_drain(self.route,
+                                        [m.id for m in drained])
         return drained
 
     def requeue_stale(self, in_flight_timeout: float) -> int:
@@ -231,6 +267,10 @@ class Topic:
         if ch is None:
             ch = Channel(self.sim, self, name, max_attempts=self.max_attempts)
             self.channels[name] = ch
+            if not self.ephemeral:
+                journal = getattr(self.broker, "journal", None)
+                if journal is not None:
+                    journal.broker_channel(self.name, name)
             if len(self.channels) == 1:
                 while self.backlog:
                     ch.put(self.backlog.popleft())

@@ -29,7 +29,7 @@ class RaiCLI:
 
     SUBCOMMANDS = ("run", "submit", "ranking", "history", "download",
                    "stats", "top", "trace", "slo", "alerts", "events",
-                   "version", "help")
+                   "checkpoint", "restore", "version", "help")
 
     def __init__(self, system, client: RaiClient):
         self.system = system
@@ -275,6 +275,58 @@ class RaiCLI:
         lines.append(f"({len(events)} shown; {stats['emitted']} emitted, "
                      f"{stats['dropped']} dropped)")
         return "\n".join(lines) + "\n"
+
+    def _cmd_checkpoint(self, args: List[str]) -> str:
+        """``rai checkpoint [dir]`` — snapshot the deployment now.
+
+        With a directory argument on a deployment that has no durability
+        attached, attaches it first (instructor bootstrap); afterwards a
+        bare ``rai checkpoint`` compacts into the same directory.
+        """
+        system = self.system
+        if system.durability is None:
+            if not args:
+                return ("rai checkpoint: no durability directory attached "
+                        "(usage: rai checkpoint <dir>)\n")
+            system.attach_durability(args[0], checkpoint=False)
+        info = system.checkpoint()
+        return (f"✱ checkpoint written to {info['path']}\n"
+                f"  {info['documents']} documents, {info['messages']} "
+                f"messages, {info['collections']} collections "
+                f"({info['bytes']} bytes)\n"
+                f"  compacted {info['records_compacted']} WAL records "
+                f"in {info['duration_s'] * 1000:.1f}ms\n")
+
+    def _cmd_restore(self, args: List[str]) -> str:
+        """``rai restore <dir> [workers]`` — cold-start from a durability
+        directory and swap this CLI onto the recovered deployment.
+
+        The client keeps its username/keys (they were snapshotted with
+        the keystore), so history and rankings pick up where the dead
+        process left off.
+        """
+        if not args:
+            return "usage: rai restore <dir> [workers]\n"
+        try:
+            num_workers = int(args[1]) if len(args) > 1 else 1
+        except ValueError:
+            return "usage: rai restore <dir> [workers]\n"
+        restored = type(self.system).restore(args[0],
+                                             num_workers=num_workers)
+        self.system = restored
+        self.client = RaiClient(restored, self.client.profile,
+                                team=self.client.team)
+        replays = restored.events.query(type="durability.replay")
+        summary = replays[-1].fields if replays else {}
+        submissions = len(restored.db.collection("submissions"))
+        return (f"✱ restored deployment from {args[0]} "
+                f"(t={restored.sim.now:.1f}s, {num_workers} workers)\n"
+                f"  replayed {summary.get('replayed', 0)} WAL records "
+                f"({summary.get('torn', 0)} torn), requeued "
+                f"{summary.get('requeued', 0)} in-flight jobs, fenced "
+                f"{summary.get('fenced', 0)} already-finished\n"
+                f"  {submissions} submissions on record; recovery took "
+                f"{summary.get('duration_s', 0) * 1000:.1f}ms\n")
 
     def _cmd_version(self, args: List[str]) -> str:
         info = build_info()

@@ -3,21 +3,39 @@
 from __future__ import annotations
 
 import enum
-import itertools
 import re
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-_job_counter = itertools.count(1)
+_next_job_id = 1
 
 
 def new_job_id() -> str:
-    return f"job-{next(_job_counter):06d}"
+    global _next_job_id
+    job_id = f"job-{_next_job_id:06d}"
+    _next_job_id += 1
+    return job_id
 
 
 def reset_job_ids() -> None:
-    global _job_counter
-    _job_counter = itertools.count(1)
+    global _next_job_id
+    _next_job_id = 1
+
+
+def advance_job_ids(next_id: int) -> None:
+    """Ensure the next minted id is at least ``next_id`` (monotonic).
+
+    A restored deployment must never reuse a pre-crash job id: the
+    worker's duplicate-record fence keys on job id, so a collision would
+    silently swallow a brand-new submission.
+    """
+    global _next_job_id
+    _next_job_id = max(_next_job_id, int(next_id))
+
+
+def job_id_watermark() -> int:
+    """The next id this process would mint (snapshotted on checkpoint)."""
+    return _next_job_id
 
 
 class JobKind(enum.Enum):

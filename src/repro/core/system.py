@@ -8,6 +8,9 @@ service, and any number of workers.  Clients are minted per student/team.
 
 from __future__ import annotations
 
+import os
+import time as _wallclock
+from dataclasses import asdict
 from typing import Generator, List, Optional
 
 from repro.auth.keys import KeyStore
@@ -180,6 +183,11 @@ class RaiSystem:
                                    events=self.events)
         self.alerts.attach_slo_engine(self.slo_engine)
 
+        #: :class:`~repro.durability.DurabilityManager` once
+        #: :meth:`attach_durability` (or :meth:`restore`) wires one in;
+        #: None means the deployment is memory-only, as before.
+        self.durability = None
+
     # -- construction helpers ------------------------------------------------
 
     @classmethod
@@ -231,6 +239,8 @@ class RaiSystem:
         if username is None:
             username = f"student{len(self.keystore) + 1:03d}"
         credential = self.keystore.issue(username, team=team)
+        if self.durability is not None:
+            self.durability.auth_issue(asdict(credential))
         profile = RaiProfile(username=credential.username,
                              access_key=credential.access_key,
                              secret_key=credential.secret_key)
@@ -338,6 +348,111 @@ class RaiSystem:
         from repro.faults.injector import FaultInjector
 
         return FaultInjector(self, plan).start()
+
+    # -- durability ----------------------------------------------------------
+
+    def attach_durability(self, path: str, checkpoint: bool = True):
+        """Start journaling every control-plane mutation under ``path``.
+
+        An initial checkpoint captures the state that predates the
+        journal (buckets, indexes, anything already submitted), so the
+        directory alone is always sufficient to restore — pass
+        ``checkpoint=False`` only when the caller checkpoints itself.
+        """
+        from repro.durability.manager import DurabilityManager
+
+        manager = DurabilityManager(self, path)
+        self.durability = manager
+        self.db.journal = manager
+        self.broker.journal = manager
+        self.storage.journal = manager
+        for cred in self.keystore.credentials():
+            manager.auth_issue(asdict(cred))
+        if checkpoint:
+            manager.checkpoint()
+        return manager
+
+    def checkpoint(self) -> dict:
+        """Snapshot-and-compact now (requires :meth:`attach_durability`)."""
+        if self.durability is None:
+            raise RuntimeError("no durability directory attached")
+        return self.durability.checkpoint()
+
+    def start_checkpointer(self, interval: float = 3600.0):
+        """Periodic checkpointing (opt-in perpetual process, like the
+        caretaker)."""
+
+        def _checkpoint_loop():
+            while True:
+                yield self.sim.timeout(interval)
+                if self.durability is not None and self.durability.active:
+                    self.durability.checkpoint()
+
+        return self.sim.process(_checkpoint_loop())
+
+    def crash_stop(self) -> None:
+        """Die without ceremony: stop journaling, take no final snapshot.
+
+        Models the process being killed — the durability directory is
+        left exactly as the last append left it (possibly mid-record),
+        which is what :meth:`restore` must recover from.  The in-memory
+        system is abandoned, not unwound.
+        """
+        if self.durability is not None:
+            self.durability.close()
+        self.db.journal = None
+        self.broker.journal = None
+        self.storage.journal = None
+
+    @classmethod
+    def restore(cls, path: str, num_workers: int = 1, seed: int = 0,
+                worker_config: Optional[WorkerConfig] = None,
+                config: Optional[SystemConfig] = None) -> "RaiSystem":
+        """Cold-start a deployment from a durability directory.
+
+        Builds a fresh system (configured from the snapshot unless
+        ``config`` overrides), installs the last checkpoint, replays the
+        WAL suffix, requeues orphaned in-flight deliveries (skipping jobs
+        whose terminal record survived — exactly-once), rebuilds chunk
+        refcounts, advances id watermarks, fast-forwards the clock, and
+        finally re-arms journaling with a fresh compacting checkpoint.
+        Workers are added last, so recovery itself executes nothing.
+        """
+        from repro.durability.manager import (
+            RECOVERY_TIME_BUCKETS,
+            DurabilityManager,
+        )
+        from repro.durability.snapshot import load_snapshot
+        from repro.obs.events import EventType
+
+        started = _wallclock.perf_counter()
+        snap = load_snapshot(
+            os.path.join(path, DurabilityManager.SNAPSHOT_FILE))
+        if config is None and snap is not None and snap.get("config"):
+            config = SystemConfig(**snap["config"])
+        system = cls(seed=seed, config=config)
+        manager = DurabilityManager(system, path, replaying=True)
+        counts = manager.recover(snap)
+        manager._replaying = False
+        system.durability = manager
+        system.db.journal = manager
+        system.broker.journal = manager
+        system.storage.journal = manager
+        manager.checkpoint()
+        for _ in range(num_workers):
+            system.add_worker(worker_config)
+        elapsed = _wallclock.perf_counter() - started
+        system.metrics.histogram(
+            "recovery.time", buckets=RECOVERY_TIME_BUCKETS).observe(elapsed)
+        system.events.emit(
+            EventType.DURABILITY_REPLAY,
+            duration_s=round(elapsed, 6),
+            snapshot=counts.get("snapshot") is not None,
+            replayed=counts["replayed"], torn=counts["torn"],
+            discarded=counts["discarded"], requeued=counts["requeued"],
+            fenced=counts["fenced"], anomalies=counts["anomalies"])
+        system.monitor.incr("restores")
+        return system
 
     # -- running ------------------------------------------------------------
 

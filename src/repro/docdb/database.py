@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import copy
-import itertools
+import re
 from collections.abc import MutableMapping
 from typing import Any, Dict, List, Optional
 
@@ -60,6 +60,9 @@ class PlannerStats(MutableMapping):
         return f"PlannerStats({dict(self)!r})"
 
 
+_OID_RE = re.compile(r"^oid-(\d+)$")
+
+
 class Collection:
     """A named set of documents."""
 
@@ -68,7 +71,9 @@ class Collection:
         self.name = name
         self._docs: Dict[Any, dict] = {}
         self._indexes: Dict[str, Index] = {}
-        self._id_counter = itertools.count(1)
+        #: Next auto-generated ``oid-``; a plain int (not itertools.count)
+        #: so snapshots can capture it and recovery can advance it.
+        self._next_oid = 1
         #: Access-path plan of the most recent find/update/delete/count —
         #: the write-path equivalent of ``Cursor.explain()``.
         self.last_plan: Optional[dict] = None
@@ -94,6 +99,10 @@ class Collection:
         for doc_id, doc in self._docs.items():
             index.add(doc_id, doc)
         self._indexes[field] = index
+        journal = self.db.journal
+        if journal is not None:
+            journal.docdb_index(self.name, field, unique,
+                                index.supports_range)
         return index
 
     def _index_add(self, doc_id, doc) -> None:
@@ -115,13 +124,25 @@ class Collection:
         doc = copy.deepcopy(document)
         doc_id = doc.get("_id")
         if doc_id is None:
-            doc_id = f"oid-{next(self._id_counter):08d}"
+            doc_id = f"oid-{self._next_oid:08d}"
+            self._next_oid += 1
             doc["_id"] = doc_id
+        else:
+            self._note_oid(doc_id)
         if doc_id in self._docs:
             raise DuplicateKeyError(f"_id {doc_id!r} already exists")
         self._index_add(doc_id, doc)
         self._docs[doc_id] = doc
+        journal = self.db.journal
+        if journal is not None:
+            journal.docdb_insert(self.name, doc)
         return doc_id
+
+    def _note_oid(self, doc_id) -> None:
+        """Keep the oid counter ahead of any explicitly supplied oid."""
+        match = _OID_RE.match(doc_id) if isinstance(doc_id, str) else None
+        if match:
+            self._next_oid = max(self._next_oid, int(match.group(1)) + 1)
 
     def insert_many(self, documents) -> List[Any]:
         return [self.insert_one(d) for d in documents]
@@ -159,6 +180,7 @@ class Collection:
         if not many:
             matched_ids = matched_ids[:1]
         modified = 0
+        journal = self.db.journal
         for doc_id in matched_ids:
             old = self._docs[doc_id]
             new = apply_update(old, update)
@@ -171,6 +193,8 @@ class Collection:
                     self._index_add(doc_id, old)  # restore
                     raise
                 self._docs[doc_id] = new
+                if journal is not None:
+                    journal.docdb_update(self.name, new)
                 modified += 1
         return modified
 
@@ -186,9 +210,12 @@ class Collection:
                   if match_document(self._docs[doc_id], filter)]
         if not many:
             doomed = doomed[:1]
+        journal = self.db.journal
         for doc_id in doomed:
             self._index_remove(doc_id, self._docs[doc_id])
             del self._docs[doc_id]
+            if journal is not None:
+                journal.docdb_delete(self.name, doc_id)
         return len(doomed)
 
     # -- reads ------------------------------------------------------------
@@ -307,6 +334,10 @@ class DocumentDB:
         #: the deployment-wide one when created by :class:`RaiSystem`).
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._collections: Dict[str, Collection] = {}
+        #: Optional :class:`~repro.durability.DurabilityManager` journal.
+        #: When set, every write (insert/update/delete/index/drop) is
+        #: appended to the write-ahead log after it is applied.
+        self.journal = None
 
     def collection(self, name: str) -> Collection:
         coll = self._collections.get(name)
@@ -321,7 +352,9 @@ class DocumentDB:
         return sorted(self._collections)
 
     def drop_collection(self, name: str) -> None:
-        self._collections.pop(name, None)
+        if self._collections.pop(name, None) is not None \
+                and self.journal is not None:
+            self.journal.docdb_drop(name)
 
     def total_documents(self) -> int:
         return sum(len(c) for c in self._collections.values())

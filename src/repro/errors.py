@@ -280,6 +280,21 @@ class JobDeadlineExceeded(RaiError):
 
 
 # --------------------------------------------------------------------------
+# Durability
+# --------------------------------------------------------------------------
+
+
+class DurabilityError(ReproError):
+    """Base class for write-ahead-log / snapshot / recovery failures."""
+
+
+class SimulatedCrash(DurabilityError):
+    """Raised by a :class:`~repro.faults.CrashPoint` to model the process
+    dying mid-write: the WAL record on disk is torn exactly where the
+    crash point cut it, and recovery must cope."""
+
+
+# --------------------------------------------------------------------------
 # Cluster / provisioning
 # --------------------------------------------------------------------------
 

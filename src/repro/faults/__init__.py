@@ -11,9 +11,12 @@ driven.  This package provides:
   all seeded from named ``system.rng.stream("faults:...")`` streams so
   chaos runs replay exactly;
 - :class:`RetryPolicy` — the reusable exponential-backoff budget the
-  worker applies to storage fetch/upload.
+  worker applies to storage fetch/upload;
+- :class:`CrashPoint` + :func:`tear_tail` — mid-write power loss for the
+  durability write-ahead log (torn final record, recovery must cope).
 """
 
+from repro.faults.crashpoint import CrashPoint, tear_tail
 from repro.faults.plan import (
     ALWAYS,
     BrokerFault,
@@ -29,6 +32,8 @@ __all__ = [
     "ALWAYS",
     "BrokerFault",
     "ContainerKillFault",
+    "CrashPoint",
+    "tear_tail",
     "FaultPlan",
     "FaultInjector",
     "RetryPolicy",

@@ -1,0 +1,60 @@
+"""Crash points: deterministic mid-write power loss for the WAL.
+
+A :class:`CrashPoint` installs as a
+:class:`~repro.durability.wal.WriteAheadLog` ``fault_hook``.  It lets a
+configurable number of appends through, then cuts the next record at a
+byte offset and "kills the process" (:class:`~repro.errors.SimulatedCrash`).
+The torn prefix really reaches the file, so recovery sees exactly what a
+power cut would leave: an intact history and one damaged final line.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+
+class CrashPoint:
+    """Tear the Nth WAL append after installation.
+
+    Parameters
+    ----------
+    after_records:
+        Appends allowed through before the crash fires (0 = the very
+        next append dies).
+    tear_bytes:
+        How much of the fatal record reaches disk.  ``None`` means half
+        the record; 0 models a crash between the application of a
+        mutation and its journal append (the record is lost whole).
+    """
+
+    def __init__(self, after_records: int = 0,
+                 tear_bytes: Optional[int] = None):
+        self.after_records = int(after_records)
+        self.tear_bytes = tear_bytes
+        self.records_seen = 0
+        self.fired = False
+
+    def __call__(self, record_bytes: bytes) -> Optional[bytes]:
+        if self.fired:
+            return None
+        if self.records_seen < self.after_records:
+            self.records_seen += 1
+            return None
+        self.fired = True
+        if self.tear_bytes is None:
+            return record_bytes[:max(1, len(record_bytes) // 2)]
+        return record_bytes[:max(0, int(self.tear_bytes))]
+
+
+def tear_tail(path: str, nbytes: int) -> int:
+    """Truncate ``nbytes`` off the end of a file (post-hoc torn write).
+
+    Returns the resulting size.  Complements :class:`CrashPoint` for
+    tests that want to damage a WAL that was written without a hook.
+    """
+    size = os.path.getsize(path)
+    target = max(0, size - int(nbytes))
+    with open(path, "rb+") as fh:
+        fh.truncate(target)
+    return target

@@ -45,6 +45,8 @@ class EventType:
     SCHED_DISPATCH = "sched.dispatch"
     ALERT_FIRED = "alert.fired"
     ALERT_RESOLVED = "alert.resolved"
+    DURABILITY_SNAPSHOT = "durability.snapshot"
+    DURABILITY_REPLAY = "durability.replay"
 
 
 class Event:

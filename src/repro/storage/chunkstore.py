@@ -201,6 +201,36 @@ class ChunkStore:
             parts.append(chunk)
         return b"".join(parts)
 
+    # -- recovery ------------------------------------------------------------
+
+    def rebuild_refcounts(self, manifests: List[Manifest]) -> dict:
+        """Recompute ``_refs`` from the live manifests after a restore.
+
+        Refcounts are soft state — the ground truth is "which manifests
+        are still reachable from a bucket".  Chunks no manifest references
+        (their objects were deleted after the chunk was snapshotted) are
+        dropped; logical-byte accounting is recomputed the same way.
+        """
+        refs: Dict[str, int] = {}
+        logical = 0
+        for manifest in manifests:
+            for ref in manifest.chunks:
+                refs[ref.digest] = refs.get(ref.digest, 0) + 1
+            logical += manifest.total_size
+        orphaned = [d for d in self._chunks if d not in refs]
+        freed = 0
+        for digest in orphaned:
+            freed += len(self._chunks.pop(digest))
+        self._refs = refs
+        self.total_logical_bytes = logical
+        return {
+            "manifests": len(manifests),
+            "chunks": len(self._chunks),
+            "orphaned_chunks": len(orphaned),
+            "orphaned_bytes": freed,
+            "logical_bytes": logical,
+        }
+
     # -- observability -------------------------------------------------------
 
     @property

@@ -33,6 +33,9 @@ class Bucket:
 
     def add_lifecycle_rule(self, rule: LifecycleRule) -> None:
         self.lifecycle_rules.append(rule)
+        if self.store.journal is not None:
+            self.store.journal.storage_rule(self.name, rule.prefix,
+                                            rule.expire_after, rule.since)
 
     @property
     def total_bytes(self) -> int:
@@ -65,6 +68,10 @@ class ObjectStore:
         #: get/put and may raise (e.g. TransientStorageError).  Installed
         #: by :class:`repro.faults.FaultInjector`; None in normal runs.
         self.fault_hook = None
+        #: Optional :class:`~repro.durability.DurabilityManager` journal.
+        #: When set, bucket creation, puts, deletes (any path), and
+        #: lifecycle-rule additions append to the write-ahead log.
+        self.journal = None
 
     # -- buckets ------------------------------------------------------------
 
@@ -75,6 +82,8 @@ class ObjectStore:
             raise BucketAlreadyExists(name)
         bucket = Bucket(self, name)
         self.buckets[name] = bucket
+        if self.journal is not None:
+            self.journal.storage_bucket(name)
         return bucket
 
     def bucket(self, name: str) -> Bucket:
@@ -118,6 +127,9 @@ class ObjectStore:
         bucket.objects[key] = obj
         self.counters.incr("puts")
         self.counters.incr("bytes_in", obj.size)
+        if self.journal is not None:
+            self.journal.storage_put(bucket_name, key, data, metadata,
+                                     padding_bytes, dedup)
         return obj
 
     def _drop_object(self, bucket: Bucket, key: str) -> bool:
@@ -133,6 +145,8 @@ class ObjectStore:
         if isinstance(obj, ChunkedObject):
             self.counters.incr("chunk_bytes_freed",
                                self.chunk_store.release(obj.manifest))
+        if self.journal is not None:
+            self.journal.storage_delete(bucket.name, key)
         return True
 
     def get_object(self, bucket_name: str, key: str) -> StoredObject:
@@ -242,6 +256,17 @@ class ObjectStore:
         while True:
             yield self.sim.timeout(interval)
             self.run_lifecycle_sweep()
+
+    # -- recovery ------------------------------------------------------------
+
+    def rebuild_chunk_refcounts(self) -> dict:
+        """Recompute chunk refcounts from the manifests still live in
+        buckets (refcounts are soft state and are not snapshotted)."""
+        manifests = [obj.manifest
+                     for bucket in self.buckets.values()
+                     for obj in bucket.objects.values()
+                     if isinstance(obj, ChunkedObject)]
+        return self.chunk_store.rebuild_refcounts(manifests)
 
     # -- observability ------------------------------------------------------------
 

@@ -83,13 +83,18 @@ DEFAULT_SCALES = (
 def run_hotpath(scale: HotpathScale, seed: int = 408,
                 dedup: bool = True,
                 config: Optional[SystemConfig] = None,
-                observability: bool = False) -> dict:
+                observability: bool = False,
+                durability_path: Optional[str] = None) -> dict:
     """Replay the resubmission storm at ``scale``; returns the metrics.
 
     ``observability=True`` additionally starts the periodic scrape →
     SLO-judge → alert loop (:meth:`RaiSystem.start_observability`), so
     the bench can price the full event-log + alerting pipeline against
     a run with the event log disabled and no scraping.
+
+    ``durability_path`` attaches a write-ahead log + snapshot directory
+    (:meth:`RaiSystem.attach_durability`) so the durability bench can
+    price journaling against the memory-only baseline.
     """
     wall_start = time.perf_counter()
     config = config or SystemConfig()
@@ -99,6 +104,8 @@ def run_hotpath(scale: HotpathScale, seed: int = 408,
         worker_config=WorkerConfig(max_concurrent_jobs=2))
     if observability:
         system.start_observability()
+    if durability_path is not None:
+        system.attach_durability(durability_path)
     # Range-capable index so time-window queries below run indexed too.
     submissions = system.db.collection("submissions")
     submissions.create_index("finished_at", ordered=True)
@@ -184,6 +191,8 @@ def run_hotpath(scale: HotpathScale, seed: int = 408,
             "scrapes": system.scraper.total_scrapes,
             "alerts_fired": system.alerts.total_fired,
         },
+        "durability": (system.durability.stats()
+                       if system.durability is not None else None),
         "wall_clock_s": round(time.perf_counter() - wall_start, 3),
     }
     return metrics

@@ -1,0 +1,56 @@
+"""``rai checkpoint`` / ``rai restore`` round trip through the CLI."""
+
+import pytest
+
+from repro.core.cli import RaiCLI
+
+pytestmark = pytest.mark.durability
+
+
+class TestCheckpointRestoreCli:
+    def test_round_trip(self, system, client, tmp_path):
+        cli = RaiCLI(system, client)
+        out = cli.run_command("rai run")
+        assert "succeeded" in out
+
+        out = cli.run_command(f"rai checkpoint {tmp_path / 'dur'}")
+        assert "checkpoint written" in out
+        assert "1 documents" in out
+
+        # A second bare checkpoint compacts into the attached directory.
+        out = cli.run_command("rai checkpoint")
+        assert "checkpoint written" in out
+
+        old_system = cli.system
+        old_now = old_system.sim.now
+        old_system.crash_stop()
+        out = cli.run_command(f"rai restore {tmp_path / 'dur'} 2")
+        assert "restored deployment" in out
+        assert cli.system is not old_system
+        assert cli.system.sim.now == pytest.approx(old_now)
+
+        # Same student keys, same history: ranking sees the old run and
+        # a new submission works on the restored deployment.
+        assert len(cli.system.db.collection("submissions")) == 1
+        cli.client.stage_project({
+            "main.cu": "// @rai-sim quality=0.8 impl=analytic\nint main(){}\n",
+            "CMakeLists.txt": "add_executable(ece408 main.cu)\n",
+        })
+        out = cli.run_command("rai run")
+        assert "succeeded" in out
+        assert len(cli.system.db.collection("submissions")) == 2
+
+    def test_checkpoint_requires_directory(self, system, client):
+        cli = RaiCLI(system, client)
+        out = cli.run_command("rai checkpoint")
+        assert "no durability directory" in out
+
+    def test_restore_usage(self, system, client):
+        cli = RaiCLI(system, client)
+        assert cli.run_command("rai restore").startswith("usage:")
+        assert cli.run_command("rai restore /tmp/x nope").startswith("usage:")
+
+    def test_help_lists_new_verbs(self, system, client):
+        cli = RaiCLI(system, client)
+        help_text = cli.run_command("rai help")
+        assert "checkpoint" in help_text and "restore" in help_text

@@ -1,0 +1,137 @@
+"""Write-ahead log framing and torn-tail edge cases."""
+
+import pytest
+
+from repro.durability.wal import HEADER, WriteAheadLog, decode_record, encode_record
+from repro.errors import DurabilityError, SimulatedCrash
+from repro.faults import CrashPoint, tear_tail
+
+pytestmark = pytest.mark.durability
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        record = {"op": "db_insert", "t": 1.5, "doc": {"_id": "x", "n": [1, 2]}}
+        assert decode_record(encode_record(record)) == record
+
+    def test_crc_detects_flipped_byte(self):
+        line = bytearray(encode_record({"op": "mb_ack", "id": "msg-000001"}))
+        line[-3] ^= 0xFF
+        with pytest.raises(DurabilityError):
+            decode_record(bytes(line))
+
+    def test_short_payload_detected(self):
+        line = encode_record({"op": "mb_ack"})
+        with pytest.raises(DurabilityError):
+            decode_record(line[:-5] + b"\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(DurabilityError):
+            decode_record(b"not a wal line\n")
+
+
+class TestWriteAheadLog:
+    def test_empty_log_replays_to_nothing(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.log"))
+        records, stats = wal.replay()
+        assert records == []
+        assert stats == {"records": 0, "torn": 0, "discarded": 0,
+                         "bytes": len(HEADER)}
+
+    def test_append_then_replay(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.log"))
+        for i in range(5):
+            wal.append({"op": "tick", "n": i})
+        records, stats = wal.replay()
+        assert [r["n"] for r in records] == [0, 1, 2, 3, 4]
+        assert stats["records"] == 5 and stats["torn"] == 0
+
+    def test_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.append({"op": "a"})
+        wal.close()
+        wal2 = WriteAheadLog(path)
+        wal2.append({"op": "b"})
+        records, _ = wal2.replay()
+        assert [r["op"] for r in records] == ["a", "b"]
+
+    def test_torn_final_record_discarded(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.append({"op": "keep", "n": 1})
+        wal.append({"op": "keep", "n": 2})
+        wal.append({"op": "lost", "pad": "x" * 100})
+        wal.close()
+        tear_tail(path, 40)  # cut into the final record
+        records, stats = WriteAheadLog(path).replay()
+        assert [r["op"] for r in records] == ["keep", "keep"]
+        assert stats["torn"] == 1 and stats["discarded"] == 1
+
+    def test_mid_file_corruption_stops_replay(self, tmp_path):
+        """Damage *before* the tail discards everything after it — replay
+        never resynchronises past a bad frame (it cannot trust what
+        follows)."""
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        for i in range(4):
+            wal.append({"op": "r", "n": i})
+        wal.close()
+        with open(path, "rb") as fh:
+            lines = fh.read().split(b"\n")
+        lines[2] = lines[2][:-1] + b"?"  # corrupt record n=1
+        with open(path, "wb") as fh:
+            fh.write(b"\n".join(lines))
+        records, stats = WriteAheadLog(path).replay()
+        assert [r["n"] for r in records] == [0]
+        assert stats["torn"] == 1 and stats["discarded"] == 3
+
+    def test_reset_truncates_to_header(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.append({"op": "gone"})
+        wal.reset()
+        assert wal.size_bytes == len(HEADER)
+        wal.append({"op": "kept"})
+        records, _ = wal.replay()
+        assert [r["op"] for r in records] == ["kept"]
+
+    def test_wrong_file_rejected(self, tmp_path):
+        path = str(tmp_path / "notawal")
+        with open(path, "w") as fh:
+            fh.write("something else entirely\n")
+        with pytest.raises(DurabilityError):
+            WriteAheadLog(path).replay()
+
+    def test_append_after_close_raises(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.log"))
+        wal.close()
+        with pytest.raises(DurabilityError):
+            wal.append({"op": "late"})
+
+
+class TestCrashPoint:
+    def test_crash_point_tears_the_nth_append(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.fault_hook = CrashPoint(after_records=2)
+        wal.append({"op": "a"})
+        wal.append({"op": "b"})
+        with pytest.raises(SimulatedCrash):
+            wal.append({"op": "dies", "pad": "y" * 50})
+        assert wal.closed
+        records, stats = WriteAheadLog(path).replay()
+        assert [r["op"] for r in records] == ["a", "b"]
+        assert stats["torn"] == 1
+
+    def test_zero_tear_bytes_loses_record_whole(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.fault_hook = CrashPoint(after_records=1, tear_bytes=0)
+        wal.append({"op": "kept"})
+        with pytest.raises(SimulatedCrash):
+            wal.append({"op": "vanishes"})
+        records, stats = WriteAheadLog(path).replay()
+        assert [r["op"] for r in records] == ["kept"]
+        # Nothing of the fatal record reached disk — clean tail, no tear.
+        assert stats["torn"] == 0
