@@ -1,0 +1,204 @@
+"""Simulation-kernel throughput — event loop, broker churn, obs plane.
+
+Not a paper figure: this bench tracks the *kernel's* performance so the
+simulator itself never becomes the bottleneck at semester scale (ISSUE 7
+— the Ray observation that serving millions of tasks is a fight against
+per-task overhead).  It runs the per-subsystem sub-benches, drives the
+tier ladder through the real student → broker → worker → docdb path,
+prices the observability plane at the giant tier (10,000 students,
+1,000,000 submissions), prints an attribution table against the embedded
+pre-PR baseline, asserts the acceptance floors, and writes
+``BENCH_kernel.json`` at the repository root.
+
+Methodology notes:
+
+- The baseline numbers were captured at commit ``fd7f2fb`` (the commit
+  before the kernel optimizations) with *this same harness* copied into
+  a worktree, so old and new kernels ran identical driver code.
+- The two giant-tier runs execute in fresh interpreters (one subprocess
+  per configuration).  Long runs inside a shared interpreter inherit
+  allocator fragmentation from whatever ran before them — back-to-back
+  in-process measurements of the same configuration drift by 20%+ —
+  and a fresh heap per measured config removes that order dependence.
+
+Run: ``pytest benchmarks/bench_kernel.py -s``
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+from benchmarks.conftest import print_banner
+from repro.workload.kernelbench import (
+    LADDER,
+    bench_broker,
+    bench_docdb,
+    bench_event_loop,
+    bench_obs,
+    run_kernel_workload,
+)
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_OUT_PATH = os.path.join(_REPO_ROOT, "BENCH_kernel.json")
+
+#: Pre-PR kernel, captured at fd7f2fb with this harness (see module
+#: docstring).  Tier numbers are obs-on, the configuration the ladder
+#: reports; ``giant_obs_on`` is the acceptance reference point.
+_BASELINE = {
+    "commit": "fd7f2fb",
+    "event_loop_events_per_s": 491_013,
+    "broker_messages_per_s": 44_673,
+    "obs_ns": {
+        "counter_inc": 91,
+        "counter_group_incr": 1022,
+        "histogram_observe": 769,
+        "event_emit": 818,
+        "event_emit_disabled": 178,
+    },
+    "docdb": {"inserts_per_s": 199_431, "probes_per_s": 63_889},
+    "tiers_obs_on": {
+        "small": {"wall_s": 0.823, "events_per_s": 98_383,
+                  "submissions_per_s": 24_287},
+        "medium": {"wall_s": 5.046, "events_per_s": 80_070,
+                   "submissions_per_s": 19_818},
+        "large": {"wall_s": 18.348, "events_per_s": 65_951,
+                  "submissions_per_s": 16_351},
+        "giant": {"wall_s": 85.369, "events_per_s": 47_091,
+                  "submissions_per_s": 11_714,
+                  "kernel_events": 4_020_130},
+    },
+    "giant_trace_digest":
+        "b7ec8b0bf5a1e295891fd8a62059900c277229ca73579c6075db57b16783e10b",
+}
+
+_GIANT_SNIPPET = (
+    "import json, sys\n"
+    "from repro.workload.kernelbench import run_kernel_workload, GIANT_TIER\n"
+    "r = run_kernel_workload(GIANT_TIER, obs=bool(int(sys.argv[1])))\n"
+    "print(json.dumps(r.to_dict()))\n"
+)
+
+
+def _run_giant(obs: bool) -> dict:
+    """One giant-tier run in a fresh interpreter (see module docstring)."""
+    env = dict(os.environ)
+    src = os.path.join(_REPO_ROOT, "src")
+    prev = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = src + (os.pathsep + prev if prev else "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _GIANT_SNIPPET, "1" if obs else "0"],
+        capture_output=True, text=True, env=env, check=True)
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def _best_giant_pair(reps: int = 3):
+    """Best-of-``reps`` giant walls per config, interleaved on/off.
+
+    Single 25-second runs still jitter by 10%+ on a shared machine —
+    enough to swamp a sub-10% overhead ratio — so each configuration
+    keeps its fastest wall.  Interleaving spreads any slow patch of the
+    machine across both configurations instead of biasing one.
+    """
+    best_on, best_off = None, None
+    for _ in range(reps):
+        on = _run_giant(obs=True)
+        off = _run_giant(obs=False)
+        if best_on is None or on["wall_s"] < best_on["wall_s"]:
+            best_on = on
+        if best_off is None or off["wall_s"] < best_off["wall_s"]:
+            best_off = off
+    return best_on, best_off
+
+
+def test_kernel_throughput(benchmark):
+    def run_all():
+        subsystems = {
+            "event_loop": bench_event_loop(),
+            "broker": bench_broker(),
+            "obs": bench_obs(),
+            "docdb": bench_docdb(),
+        }
+        ladder = [run_kernel_workload(scale).to_dict() for scale in LADDER]
+        giant_on, giant_off = _best_giant_pair()
+        return subsystems, ladder, giant_on, giant_off
+
+    subsystems, ladder, giant_on, giant_off = benchmark.pedantic(
+        run_all, rounds=1, iterations=1)
+
+    base_tiers = _BASELINE["tiers_obs_on"]
+    obs_overhead = giant_on["wall_s"] / giant_off["wall_s"] - 1.0
+
+    print_banner("Simulation kernel — event loop / broker / obs / docdb")
+    print(f"{'subsystem':<22}{'baseline':>14}{'current':>14}{'speedup':>9}")
+    rows = [
+        ("event loop (ev/s)", _BASELINE["event_loop_events_per_s"],
+         subsystems["event_loop"]["events_per_s"]),
+        ("broker (msg/s)", _BASELINE["broker_messages_per_s"],
+         subsystems["broker"]["messages_per_s"]),
+        ("hist observe (ns)", _BASELINE["obs_ns"]["histogram_observe"],
+         subsystems["obs"]["histogram_observe_ns"]),
+        ("event emit (ns)", _BASELINE["obs_ns"]["event_emit"],
+         subsystems["obs"]["event_emit_ns"]),
+        ("group incr (ns)", _BASELINE["obs_ns"]["counter_group_incr"],
+         subsystems["obs"]["counter_group_incr_ns"]),
+        ("docdb insert (1/s)", _BASELINE["docdb"]["inserts_per_s"],
+         subsystems["docdb"]["inserts_per_s"]),
+    ]
+    for name, base, cur in rows:
+        ratio = (base / cur) if name.endswith("(ns)") else (cur / base)
+        print(f"{name:<22}{base:>14,}{cur:>14,}{ratio:>8.2f}x")
+
+    print(f"\n{'tier':<9}{'subs':>10}{'wall s':>9}{'events/s':>11}"
+          f"{'subs/s':>9}{'vs base':>9}")
+    for tier in ladder + [giant_on]:
+        name = tier["scale"]["name"]
+        ratio = tier["events_per_s"] / base_tiers[name]["events_per_s"]
+        print(f"{name:<9}{tier['submissions']:>10,}{tier['wall_s']:>9.2f}"
+              f"{tier['events_per_s']:>11,}{tier['submissions_per_s']:>9,}"
+              f"{ratio:>8.2f}x")
+    print(f"\ngiant obs overhead: {obs_overhead * 100:.1f}% "
+          f"(on {giant_on['wall_s']:.2f}s / off {giant_off['wall_s']:.2f}s)")
+    print(f"giant message pool: {giant_on['message_pool']}")
+
+    # --- acceptance floors (ISSUE 7) -------------------------------------
+    # >= 2x kernel event throughput at the largest common scale (giant).
+    giant_speedup = (giant_on["events_per_s"]
+                     / base_tiers["giant"]["events_per_s"])
+    assert giant_speedup >= 2.0, giant_speedup
+    # The giant tier (10k students, 1M submissions) completes in minutes.
+    assert giant_on["submissions"] == 1_000_000
+    assert giant_on["wall_s"] < 240.0
+    # Observability priced at that volume: < 10% wall-clock overhead.
+    assert obs_overhead < 0.10, obs_overhead
+    # Determinism: the obs plane must not perturb delivery order, and the
+    # optimized kernel reproduces the pre-PR kernel's delivery order for
+    # the same seed, byte for byte.
+    assert giant_on["trace_digest"] == giant_off["trace_digest"]
+    assert giant_on["trace_digest"] == _BASELINE["giant_trace_digest"]
+
+    payload = {
+        "bench": "kernel",
+        "source": "benchmarks/bench_kernel.py",
+        "baseline": _BASELINE,
+        "current": {
+            "subsystems": subsystems,
+            "tiers_obs_on": ladder + [giant_on],
+            "giant_obs_off": giant_off,
+        },
+        "speedup": {
+            "event_loop": round(subsystems["event_loop"]["events_per_s"]
+                                / _BASELINE["event_loop_events_per_s"], 2),
+            "broker": round(subsystems["broker"]["messages_per_s"]
+                            / _BASELINE["broker_messages_per_s"], 2),
+            "giant_events_per_s": round(giant_speedup, 2),
+            "giant_submissions_per_s": round(
+                giant_on["submissions_per_s"]
+                / base_tiers["giant"]["submissions_per_s"], 2),
+        },
+        "giant_obs_overhead": round(obs_overhead, 4),
+    }
+    with open(_OUT_PATH, "w") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    print(f"\nwrote {_OUT_PATH}")

@@ -110,6 +110,14 @@ class Consumer:
     def ack(self, message: Message) -> None:
         self._channel.ack(message)
 
+    def ack_release(self, message: Message) -> None:
+        """Ack and recycle the delivery copy (see ``Channel.ack_release``).
+
+        Only for consumers that keep no reference to the message — body,
+        headers, or the envelope itself — past this call.
+        """
+        self._channel.ack_release(message)
+
     def requeue(self, message: Message) -> bool:
         return self._channel.requeue(message)
 

@@ -5,6 +5,13 @@ from __future__ import annotations
 import json
 from typing import Any, Optional
 
+from repro.sim.pool import FreeList
+
+#: Freelist for per-delivery message carcasses (fan-out copies).  Filled
+#: only by the opt-in release paths (``Message.release`` /
+#: ``Channel.ack_release``); when empty, construction is a plain ``new``.
+message_pool = FreeList()
+
 _next_message_id = 1
 
 
@@ -81,6 +88,45 @@ class Message:
         #: (or lazily on first use) and shared by fan-out copies.
         self._payload = payload
 
+    @classmethod
+    def from_pool(cls, topic: str, body: Any, timestamp: float,
+                  message_id: Optional[str] = None,
+                  payload: Optional[bytes] = None,
+                  headers: Optional[dict] = None) -> "Message":
+        """Construct a message, reusing a recycled carcass when possible.
+
+        Behaviourally identical to ``Message(...)``; the only difference
+        is where the memory comes from.
+        """
+        msg = message_pool.acquire()
+        if msg is None:
+            return cls(topic, body, timestamp, message_id,
+                       payload=payload, headers=headers)
+        msg.id = message_id or new_message_id()
+        msg.topic = topic
+        msg.body = body
+        msg.timestamp = float(timestamp)
+        msg.attempts = 0
+        msg.delivered_at = None
+        msg.headers = headers
+        msg._channel = None
+        msg._payload = payload
+        return msg
+
+    def release(self) -> None:
+        """Recycle this message into the pool.
+
+        Only call when no live reference remains (the broker's per-channel
+        delivery copies, after an explicit ``ack_release``).  The body and
+        payload are dropped immediately so a pooled carcass never pins a
+        large encoded blob.
+        """
+        self.body = None
+        self.headers = None
+        self._payload = None
+        self._channel = None
+        message_pool.release(self)
+
     @property
     def payload(self) -> bytes:
         """The body's wire bytes, encoded at most once per publish."""
@@ -96,11 +142,13 @@ class Message:
         """Per-channel copy (topics fan out; channels own delivery state).
 
         Copies share the publisher's encoded payload bytes — fan-out to N
-        channels costs zero additional serialisations.
+        channels costs zero additional serialisations.  Copies come from
+        the freelist: they are the highest-churn objects in the broker
+        (one per channel per publish, dead one delivery later).
         """
-        clone = Message(self.topic, self.body, self.timestamp, self.id,
-                        payload=self._payload, headers=self.headers)
-        return clone
+        return Message.from_pool(self.topic, self.body, self.timestamp,
+                                 self.id, payload=self._payload,
+                                 headers=self.headers)
 
     def __repr__(self):
         return f"<Message {self.id} topic={self.topic!r} attempts={self.attempts}>"

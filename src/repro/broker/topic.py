@@ -18,6 +18,11 @@ class Channel(Store):
     lost — resilience is one of the broker's two stated jobs, §IV).
     """
 
+    __slots__ = ("topic", "name", "max_attempts", "in_flight",
+                 "dead_letters", "subscriber_count", "total_delivered",
+                 "total_acked", "total_requeued", "total_dead_lettered",
+                 "total_prefetched", "scheduler")
+
     def __init__(self, sim, topic: "Topic", name: str,
                  max_attempts: int = 5):
         super().__init__(sim)
@@ -168,6 +173,18 @@ class Channel(Store):
             journal.broker_ack(self.route, message.id)
         self.topic._maybe_reap()
 
+    def ack_release(self, message: Message) -> None:
+        """Ack and recycle the delivery copy into the message freelist.
+
+        Opt-in fast path for consumers that are provably done reading the
+        message (body, headers, everything) by the time they ack.  A plain
+        :meth:`ack` never recycles — callers routinely inspect the body
+        after acking, and handing their message to the pool would let a
+        later publish mutate it under them.
+        """
+        self.ack(message)
+        message.release()
+
     def requeue(self, message: Message) -> bool:
         """Return the message to the queue; dead-letter if out of attempts.
 
@@ -190,7 +207,7 @@ class Channel(Store):
         if journal is not None:
             journal.broker_requeue(self.route, message.id,
                                    dead_lettered=False)
-        self.put(message)
+        self._put_fast(message)
         return True
 
     def drain_dead_letters(self) -> List[Message]:
@@ -245,6 +262,10 @@ class Topic:
     worker creates ``log_${job_id}`` then immediately starts streaming).
     """
 
+    __slots__ = ("sim", "name", "ephemeral", "max_attempts", "channels",
+                 "backlog", "producer_count", "total_published", "broker",
+                 "_on_empty")
+
     def __init__(self, sim, name: str, ephemeral: bool = False,
                  max_attempts: int = 5, on_empty=None):
         self.sim = sim
@@ -273,16 +294,18 @@ class Topic:
                     journal.broker_channel(self.name, name)
             if len(self.channels) == 1:
                 while self.backlog:
-                    ch.put(self.backlog.popleft())
+                    ch._put_fast(self.backlog.popleft())
         return ch
 
     def publish(self, message: Message) -> None:
+        # ``_put_fast`` skips the StorePut event the old path allocated and
+        # immediately discarded — publish is the broker's hottest entry.
         self.total_published += 1
         if not self.channels:
             self.backlog.append(message)
             return
         for ch in self.channels.values():
-            ch.put(message.copy_for_channel())
+            ch._put_fast(message.copy_for_channel())
 
     @property
     def depth(self) -> int:

@@ -268,7 +268,9 @@ class RaiWorker:
                             message_id=message.id,
                             attempts=message.attempts)
                 else:
-                    consumer.ack(message)
+                    # The job was parsed out of the body long ago and the
+                    # envelope is never touched again: recycle it.
+                    consumer.ack_release(message)
         finally:
             consumer.close()
             self._close_slot(slot)

@@ -42,7 +42,7 @@ def reset_obs_ids() -> None:
     _span_counter = itertools.count(1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceContext:
     """Immutable (trace_id, span_id, parent_id) triple."""
 

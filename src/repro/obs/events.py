@@ -91,9 +91,13 @@ class Event:
 class EventLog:
     """Ring-buffered, queryable stream of :class:`Event` records."""
 
+    __slots__ = ("clock", "max_events", "enabled", "_events",
+                 "total_emitted", "counts", "_sample", "_skips")
+
     def __init__(self, clock: Callable[[], float],
                  max_events: int = 4096,
-                 enabled: bool = True):
+                 enabled: bool = True,
+                 sample: Optional[Dict[str, int]] = None):
         if max_events < 1:
             raise ValueError("max_events must be >= 1")
         self.clock = clock
@@ -104,6 +108,22 @@ class EventLog:
         #: Emission tallies per event type (never truncated, unlike the
         #: ring itself) — ``rai alerts``/reports read rates off these.
         self.counts: Dict[str, int] = {}
+        #: Per-type ring sampling: ``{"job.state_change": 16}`` retains
+        #: one in 16 of that type in the ring.  ``total_emitted`` and
+        #: :attr:`counts` stay exact — sampling thins only the debugging
+        #: window, never the rates the SLO/alerting plane reads.  Types
+        #: not listed are always retained, so rare-but-critical records
+        #: (alerts, dead-letters) survive any sampling policy.  At a
+        #: million events the ring keeps the last ``max_events`` — well
+        #: under 1% — so materializing a record per emission buys
+        #: nothing; high-volume homogeneous streams should sample.
+        if sample:
+            for type_, rate in sample.items():
+                if rate < 1:
+                    raise ValueError(
+                        f"sample rate for {type_!r} must be >= 1")
+        self._sample: Dict[str, int] = dict(sample) if sample else {}
+        self._skips: Dict[str, int] = {}
 
     # -- ingest ------------------------------------------------------------
 
@@ -120,16 +140,49 @@ class EventLog:
         """
         if not self.enabled:
             return None
+        self.total_emitted += 1
+        counts = self.counts
+        try:
+            counts[type] += 1
+        except KeyError:
+            counts[type] = 1
+        # Ring sampling: tallies above are already exact, so a sampled-out
+        # emission ends here without materializing a record.
+        rate = self._sample.get(type)
+        if rate is not None:
+            left = self._skips.get(type, 1) - 1
+            if left:
+                self._skips[type] = left
+                return None
+            self._skips[type] = rate
         if span is not None:
             if trace_id is None:
                 trace_id = span.trace_id
             if span_id is None:
                 span_id = span.span_id
-        event = Event(self.clock() if at is None else at, type,
-                      trace_id=trace_id, span_id=span_id, fields=fields)
-        self._events.append(event)
-        self.total_emitted += 1
-        self.counts[type] = self.counts.get(type, 0) + 1
+        # At volume the ring is perpetually full and every append evicts
+        # the oldest record, so recycle that object in place instead of
+        # allocating a new one — steady-state emission then allocates
+        # nothing beyond the caller's kwargs dict.  Recycled events are
+        # by definition outside the retained window, and emit's return
+        # value is only ever inspected immediately.
+        ring = self._events
+        if len(ring) == self.max_events:
+            event = ring.popleft()
+            event.time = self.clock() if at is None else at
+            event.type = type
+            event.trace_id = trace_id
+            event.span_id = span_id
+            # Refill the retained fields dict rather than replacing it:
+            # the caller's kwargs dict then dies young (allocator-hot),
+            # instead of evicting a ring-old, cache-cold dict per emit.
+            old = event.fields
+            old.clear()
+            old.update(fields)
+        else:
+            event = Event(self.clock() if at is None else at, type,
+                          trace_id=trace_id, span_id=span_id, fields=fields)
+        ring.append(event)
         return event
 
     # -- query ------------------------------------------------------------
@@ -181,7 +234,7 @@ class EventLog:
 
     @property
     def dropped(self) -> int:
-        """Events emitted but no longer retained (ring overflow)."""
+        """Events emitted but not retained (ring overflow or sampling)."""
         return self.total_emitted - len(self._events)
 
     def __len__(self) -> int:

@@ -21,6 +21,7 @@ Three instrument kinds, Prometheus-shaped:
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 #: Default latency buckets (simulated seconds): sub-second client work up
@@ -32,6 +33,10 @@ LabelsKey = Tuple[Tuple[str, str], ...]
 
 
 def _labels_key(labels: dict) -> LabelsKey:
+    # The overwhelmingly common case — unlabelled counters incremented on
+    # the broker/worker hot paths — must not pay for a genexpr + sort.
+    if not labels:
+        return ()
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
@@ -157,17 +162,21 @@ class Histogram(Metric):
 
     def observe(self, value: float, trace_id: Optional[str] = None,
                 at: float = 0.0) -> None:
-        value = float(value)
+        if type(value) is not float:  # normalize ints / numpy scalars
+            value = float(value)
         self.count += 1
         self.sum += value
-        self.min = min(self.min, value)
-        self.max = max(self.max, value)
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.bucket_counts[i] += 1
-                if trace_id is not None:
-                    self.exemplars[i] = Exemplar(trace_id, value, at)
-                break
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        # First bucket with ``value <= bound``: bisect over the sorted
+        # bounds instead of a linear scan (the last bound is +inf, so the
+        # index is always valid).
+        i = bisect_left(self.buckets, value)
+        self.bucket_counts[i] += 1
+        if trace_id is not None:
+            self.exemplars[i] = Exemplar(trace_id, value, at)
 
     @property
     def value(self) -> float:
@@ -325,12 +334,26 @@ class CounterGroup:
     the data now lives in the shared registry under ``prefix + name``.
     """
 
+    __slots__ = ("registry", "prefix", "_cache")
+
     def __init__(self, registry: MetricsRegistry, prefix: str = ""):
         self.registry = registry
         self.prefix = prefix
+        #: name → Counter handle.  ``incr`` is called on broker/worker hot
+        #: paths with a tiny set of names; resolving the registry key
+        #: (labels tuple + dict lookup + type check) every time tripled
+        #: its cost.  The registry owns the data — this only caches the
+        #: object identity, which is stable for a (name, labels) key.
+        self._cache: Dict[str, Counter] = {}
 
     def incr(self, name: str, amount: float = 1) -> None:
-        self.registry.counter(self.prefix + name).inc(amount)
+        counter = self._cache.get(name)
+        if counter is None:
+            counter = self._cache[name] = \
+                self.registry.counter(self.prefix + name)
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        counter._value += amount
 
     def get(self, name: str) -> float:
         return self.registry.value(self.prefix + name)

@@ -9,12 +9,21 @@ invokes its callbacks in scheduling order.  Processes are themselves events
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, List, Optional
 
 from repro.errors import SimulationError
 
 #: Sentinel stored in :attr:`Event._value` until the event is triggered.
 PENDING = object()
+
+#: Priority for events that must run before same-time normal events
+#: (used by interrupts so they preempt the interrupted process's own
+#: resume).  Defined here — not in :mod:`repro.sim.kernel` — so the
+#: :class:`Timeout` fast path can schedule without a circular import;
+#: the kernel re-exports both names.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
 
 
 class Event:
@@ -120,13 +129,22 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, sim, delay: float, value: Any = None):
+        # Timeouts are the single most-allocated event type (every think
+        # time, service time, and caretaker tick is one), so this inlines
+        # ``Event.__init__`` + ``Simulator._schedule`` into one flat body:
+        # a timeout is born triggered and scheduled, so the generic
+        # re-schedule guard and callback indirection buy nothing here.
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay!r}")
-        super().__init__(sim)
-        self.delay = float(delay)
-        self._ok = True
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim._schedule(self, delay=self.delay)
+        self._ok = True
+        self._scheduled = True
+        self._defused = False
+        self.delay = delay = float(delay)
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._queue, (sim._now + delay, PRIORITY_NORMAL, seq, self))
 
     def __repr__(self):
         return f"<Timeout delay={self.delay} at {id(self):#x}>"

@@ -2,18 +2,14 @@
 
 from __future__ import annotations
 
-import heapq
-from itertools import count
+from functools import partial
+from heapq import heappop, heappush
 from types import GeneratorType
 from typing import Any, Generator, Optional
 
 from repro.errors import EmptySchedule, Interrupt, SimulationError, StopSimulation
-from repro.sim.events import PENDING, AllOf, AnyOf, Event, Timeout
-
-#: Priority for events that must run before same-time normal events
-#: (used by interrupts so they preempt the interrupted process's own resume).
-PRIORITY_URGENT = 0
-PRIORITY_NORMAL = 1
+from repro.sim.events import (PENDING, PRIORITY_NORMAL, PRIORITY_URGENT,
+                              AllOf, AnyOf, Event, Timeout)
 
 
 class Simulator:
@@ -29,11 +25,19 @@ class Simulator:
         Starting value of :attr:`now` (simulated seconds).
     """
 
+    __slots__ = ("_now", "_queue", "_seq", "_active_process", "timeout")
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list = []  # heap of (time, priority, seq, event)
-        self._seq = count()
+        #: Monotonic tiebreak sequence — a plain int, incremented inline on
+        #: the scheduling hot paths (an ``itertools.count`` costs a C call
+        #: per event and cannot be read back for throughput accounting).
+        self._seq = 0
         self._active_process: Optional[Process] = None
+        #: ``sim.timeout(delay, value=None)`` — the most-called factory, so
+        #: it is a C-level ``partial`` rather than a Python method wrapper.
+        self.timeout = partial(Timeout, self)
 
     # -- clock ------------------------------------------------------------
 
@@ -47,15 +51,16 @@ class Simulator:
         """The process currently executing, if any."""
         return self._active_process
 
+    @property
+    def scheduled_events(self) -> int:
+        """Total events ever scheduled — the kernel-throughput numerator."""
+        return self._seq
+
     # -- event factories ----------------------------------------------------
 
     def event(self) -> Event:
         """Create an untriggered event bound to this simulator."""
         return Event(self)
-
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event firing ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
 
     def process(self, generator: Generator) -> "Process":
         """Start a new process from a generator function's generator."""
@@ -74,8 +79,8 @@ class Simulator:
         if event._scheduled:
             return
         event._scheduled = True
-        heapq.heappush(self._queue, (self._now + delay, priority,
-                                     next(self._seq), event))
+        self._seq = seq = self._seq + 1
+        heappush(self._queue, (self._now + delay, priority, seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -84,7 +89,7 @@ class Simulator:
     def step(self) -> None:
         """Process the single next event."""
         try:
-            self._now, _, _, event = heapq.heappop(self._queue)
+            self._now, _, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule("no more events scheduled") from None
 
@@ -123,23 +128,53 @@ class Simulator:
                     f"until ({horizon}) must not be before now ({self._now})")
             stop_event = None
 
+        # The hot loop.  ``step()`` is inlined and specialised per run mode:
+        # at benchmark scale the per-event method call, the ``peek`` double
+        # heap access, the EmptySchedule control-flow exception, and even a
+        # per-event ``horizon is not None`` test are all measurable.  Each
+        # loop pops first and reads the timestamp off the popped entry —
+        # peek-then-pop touches the heap root twice per event.
+        queue = self._queue
+        pop = heappop
         try:
-            while True:
-                if horizon is not None:
-                    nxt = self.peek()
-                    if nxt > horizon:
-                        self._now = horizon
-                        return None
-                try:
-                    self.step()
-                except EmptySchedule:
-                    if stop_event is not None:
-                        raise SimulationError(
-                            "ran out of events before the awaited event "
-                            "triggered") from None
-                    if horizon is not None:
-                        self._now = horizon
-                    return None
+            if horizon is None:
+                while True:
+                    try:
+                        entry = pop(queue)
+                    except IndexError:
+                        break
+                    self._now = entry[0]
+                    event = entry[3]
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
+                    if not event._ok and not event._defused:
+                        # An unhandled failure: surface it, don't lose it.
+                        raise event._value
+                if stop_event is not None:
+                    raise SimulationError(
+                        "ran out of events before the awaited event "
+                        "triggered") from None
+                return None
+            while queue and queue[0][0] <= horizon:
+                entry = pop(queue)
+                self._now = entry[0]
+                event = entry[3]
+                callbacks = event.callbacks
+                event.callbacks = None
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    for callback in callbacks:
+                        callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+            self._now = horizon
+            return None
         except StopSimulation as stop:
             event = stop.value
             if event.ok:
@@ -166,7 +201,7 @@ class Process(Event):
     triggers when the generator returns, carrying its return value.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "_resume_cb")
 
     def __init__(self, sim: Simulator, generator: Generator, name: str = None):
         if not isinstance(generator, GeneratorType):
@@ -176,11 +211,16 @@ class Process(Event):
         self._generator = generator
         self._target: Optional[Event] = None
         self.name = name or generator.__name__
+        #: The bound resume callback, created exactly once.  ``self._resume``
+        #: mints a fresh bound-method object per access, which costs an
+        #: allocation per yield *and* defeats ``list.remove``'s identity
+        #: fast path when detaching from an abandoned target.
+        self._resume_cb = self._resume
         # Bootstrap: resume once at the current time.
         init = Event(sim)
         init._ok = True
         init._value = None
-        init.callbacks.append(self._resume)
+        init.callbacks.append(self._resume_cb)
         sim._schedule(init)
 
     @property
@@ -207,68 +247,93 @@ class Process(Event):
         event._ok = False
         event._value = Interrupt(cause)
         event._defused = True
-        event.callbacks.append(self._resume)
+        event.callbacks.append(self._resume_cb)
         self.sim._schedule(event, priority=PRIORITY_URGENT)
 
     # -- internals ----------------------------------------------------------
 
     def _resume(self, event: Event) -> None:
-        if self.triggered:
+        # This is the kernel's innermost function — one call per process
+        # wakeup — so state checks read slots directly instead of going
+        # through the ``triggered``/``processed`` property descriptors,
+        # and loop-invariant lookups are hoisted into locals.
+        if self._value is not PENDING:
             # Process already ended (e.g. interrupt raced with completion).
             return
-        self.sim._active_process = self
+        sim = self.sim
+        gen = self._generator
+        resume_cb = self._resume_cb
+        sim._active_process = self
 
         while True:
-            # Detach from whatever we were waiting on.
-            if (self._target is not None and not self._target.processed
-                    and self._target.callbacks is not None
-                    and self._resume in self._target.callbacks):
-                self._target.callbacks.remove(self._resume)
-            self._target = None
+            # Detach from whatever we were waiting on.  In the common case
+            # the fired event *is* the target (its callbacks are already
+            # consumed), so an identity test replaces any list traversal;
+            # only an abandoned wait (e.g. an interrupt preempting a parked
+            # process) pays for a one-pass ``remove`` — which hits the
+            # identity fast path on the cached bound method, no membership
+            # pre-scan.
+            target = self._target
+            if target is not None:
+                self._target = None
+                if target is not event:
+                    callbacks = target.callbacks
+                    if callbacks is not None:
+                        try:
+                            callbacks.remove(resume_cb)
+                        except ValueError:
+                            pass
 
             try:
                 if event._ok:
-                    target = self._generator.send(event._value)
+                    target = gen.send(event._value)
                 else:
                     event._defused = True
-                    target = self._generator.throw(event._value)
+                    target = gen.throw(event._value)
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
-                self.sim._schedule(self)
+                sim._schedule(self)
                 break
             except BaseException as exc:
                 self._ok = False
                 self._value = exc
-                self.sim._schedule(self)
+                sim._schedule(self)
                 break
 
-            if not isinstance(target, Event):
+            # Validate the yield by touching ``target.sim`` — for real
+            # events the load is needed anyway for the cross-simulator
+            # check, and a non-event raises AttributeError at zero cost to
+            # the hot path (CPython 3.11 try/except is free until it fires).
+            try:
+                if target.sim is not sim:
+                    raise SimulationError(
+                        "yielded event belongs to another simulator")
+            except AttributeError:
                 exc = SimulationError(
                     f"process {self.name!r} yielded a non-event: {target!r}")
                 try:
-                    self._generator.throw(exc)
+                    gen.throw(exc)
                 except StopIteration as stop:
                     self._ok = True
                     self._value = stop.value
                 except BaseException as err:
                     self._ok = False
                     self._value = err
-                self.sim._schedule(self)
+                sim._schedule(self)
                 break
-            if target.sim is not self.sim:
-                raise SimulationError("yielded event belongs to another simulator")
 
-            if target.processed:
-                # Already resolved: loop around immediately with its outcome.
+            callbacks = target.callbacks
+            if callbacks is None:
+                # Already processed: loop around immediately with its outcome.
                 event = target
                 continue
 
             self._target = target
-            target.callbacks.append(self._resume)
+            callbacks.append(resume_cb)
             break
 
-        self.sim._active_process = None
+        sim._active_process = None
 
     def __repr__(self):
         state = "alive" if self.is_alive else ("ok" if self._ok else "failed")

@@ -13,10 +13,11 @@ Three primitives cover everything the RAI model needs:
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Any, Deque, List, Optional
 
 from repro.errors import SimulationError
-from repro.sim.events import Event
+from repro.sim.events import PENDING, PRIORITY_NORMAL, Event
 
 
 class Request(Event):
@@ -47,6 +48,8 @@ class Request(Event):
 
 class Resource:
     """``capacity`` identical slots with FIFO (or priority) granting."""
+
+    __slots__ = ("sim", "capacity", "users", "_waiting", "_tiebreak")
 
     def __init__(self, sim, capacity: int = 1):
         if capacity < 1:
@@ -101,6 +104,8 @@ class Resource:
 class PriorityResource(Resource):
     """A resource granting the lowest ``priority`` value first, FIFO-tied."""
 
+    __slots__ = ()
+
     def _select_next(self) -> Optional[Request]:
         if not self._waiting:
             return None
@@ -142,6 +147,8 @@ class Store:
     waiting.
     """
 
+    __slots__ = ("sim", "capacity", "items", "_puts", "_gets")
+
     def __init__(self, sim, capacity: float = float("inf")):
         if capacity <= 0:
             raise ValueError("capacity must be > 0")
@@ -175,44 +182,98 @@ class Store:
         """
         return self.items.popleft()
 
+    def _put_fast(self, item: Any) -> None:
+        """Enqueue ``item`` when the caller ignores the put event.
+
+        The broker's hottest paths (publish fan-out, backlog flush,
+        requeue) never look at the returned :class:`StorePut`, so when
+        the store has room this skips the event allocation entirely and
+        appends directly.  A full store falls back to a real put event
+        so blocking semantics — and FIFO order behind already-pending
+        puts — are preserved.
+        """
+        items = self.items
+        if self._puts or len(items) >= self.capacity:
+            StorePut(self, item)
+            return
+        items.append(item)
+        if self._gets:
+            self._dispatch()
+
     def _dispatch(self) -> None:
-        progressed = True
-        while progressed:
-            progressed = False
+        # ``succeed`` only schedules kernel events — callbacks run later,
+        # from the kernel loop — so no new puts or gets can arrive while
+        # this method runs.  That licenses a single rotation pass over
+        # the waiting gets instead of the old rebuild-the-deque scan
+        # per call, which at broker scale was the single largest cost in
+        # the whole stack (O(waiting gets) per put, plus a full re-scan
+        # whenever anything progressed).
+        items = self.items
+        puts = self._puts
+        gets = self._gets
+        sim = self.sim
+        queue = sim._queue
+        # ``evt.succeed(value)`` inlined below: these events were created
+        # un-triggered moments ago and are only ever triggered here, so
+        # the already-triggered guard, the re-schedule guard, and two
+        # Python calls per delivery are pure overhead at broker volume.
+        while True:
             # Admit pending puts while there is room.
-            while self._puts and len(self.items) < self.capacity:
-                put = self._puts.popleft()
-                self.items.append(put.item)
-                put.succeed()
-                progressed = True
-            # Serve waiting gets.
-            _missing = object()
-            remaining: Deque[StoreGet] = deque()
-            while self._gets:
-                get = self._gets.popleft()
-                if get.triggered:  # cancelled/raced
-                    progressed = True
-                    continue
-                matched = _missing
-                if get.filter is None:
-                    if self.items:
+            if puts:
+                capacity = self.capacity
+                while puts and len(items) < capacity:
+                    put = puts.popleft()
+                    items.append(put.item)
+                    put._ok = True
+                    put._value = None
+                    put._scheduled = True
+                    sim._seq = seq = sim._seq + 1
+                    heappush(queue, (sim._now, PRIORITY_NORMAL, seq, put))
+            # Serve waiting gets in one FIFO pass: unserved gets are
+            # re-appended behind the not-yet-examined ones, and a final
+            # rotate restores original order when items run out early.
+            served = False
+            if gets:
+                n = len(gets)
+                while n:
+                    if not items:
+                        # Nothing can match an empty store (filtered or
+                        # not): put the n unexamined gets back behind the
+                        # re-appended unserved ones in original order.
+                        gets.rotate(-n)
+                        break
+                    n -= 1
+                    get = gets.popleft()
+                    if get._value is not PENDING:  # cancelled/raced
+                        continue
+                    filt = get.filter
+                    if filt is None:
                         matched = self._pop_next()
-                else:
-                    for i, item in enumerate(self.items):
-                        if get.filter(item):
-                            matched = item
-                            del self.items[i]
-                            break
-                if matched is not _missing:
-                    get.succeed(matched)
-                    progressed = True
-                else:
-                    remaining.append(get)
-            self._gets = remaining
+                    else:
+                        for i, item in enumerate(items):
+                            if filt(item):
+                                del items[i]
+                                matched = item
+                                break
+                        else:
+                            gets.append(get)
+                            continue
+                    get._ok = True
+                    get._value = matched
+                    get._scheduled = True
+                    sim._seq = seq = sim._seq + 1
+                    heappush(queue, (sim._now, PRIORITY_NORMAL, seq, get))
+                    served = True
+            # Served gets can only open room for a bounded store's pending
+            # puts; loop again only when both sides can still progress.
+            if not (served and puts):
+                return
 
 
 class Container:
     """A continuous quantity (e.g. bytes) with blocking put/get."""
+
+    __slots__ = ("sim", "capacity", "level", "_puts", "_gets")
 
     def __init__(self, sim, capacity: float = float("inf"), init: float = 0.0):
         if init < 0 or init > capacity:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.broker.message import reset_message_ids
+from repro.broker.message import message_pool, reset_message_ids
 from repro.core.job import reset_job_ids
 from repro.obs.context import reset_obs_ids
 from repro.sim import Simulator
@@ -14,6 +14,7 @@ def _reset_global_counters():
     reset_message_ids()
     reset_job_ids()
     reset_obs_ids()
+    message_pool.clear()
     yield
 
 

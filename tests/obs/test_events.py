@@ -89,6 +89,43 @@ class TestEventLogUnit:
         assert log.counts["x"] == 5
         assert log.stats()["by_type"] == {"x": 5}
 
+    def test_ring_sampling_thins_window_not_counts(self, clock):
+        log = EventLog(clock=clock, max_events=100,
+                       sample={"job.state_change": 4})
+        kept = [log.emit("job.state_change", i=i) for i in range(16)]
+        # Exact tallies: sampling never touches rates.
+        assert log.total_emitted == 16
+        assert log.counts["job.state_change"] == 16
+        # The ring holds one in four, starting with the first.
+        assert len(log) == 4
+        assert [e.fields["i"] for e in log] == [0, 4, 8, 12]
+        # Sampled-out emissions return None, retained ones the record.
+        assert [e.fields["i"] for e in kept if e is not None] == \
+            [0, 4, 8, 12]
+        assert log.dropped == 12
+        # Unlisted types are always retained alongside.
+        log.emit("alert.fired", i=99)
+        assert [e.fields["i"] for e in log] == [0, 4, 8, 12, 99]
+
+    def test_sample_rate_must_be_positive(self, clock):
+        with pytest.raises(ValueError):
+            EventLog(clock=clock, sample={"x": 0})
+
+    def test_recycled_ring_reuses_event_objects(self, clock):
+        # At capacity the evicted record's carcass (object and fields
+        # dict) is reused in place — steady-state emission allocates
+        # nothing beyond the caller's kwargs.
+        log = EventLog(clock=clock, max_events=2)
+        first = log.emit("x", i=0)
+        first_fields = first.fields
+        log.emit("x", i=1)
+        recycled = log.emit("y", i=2)
+        assert recycled is first
+        assert recycled.fields is first_fields
+        assert recycled.type == "y"
+        assert recycled.fields == {"i": 2}
+        assert [e.fields["i"] for e in log] == [1, 2]
+
     def test_query_filters_and_limit(self, log, clock):
         clock.now = 1.0
         log.emit("job.state_change", job_id="j1", team="a", status="queued")

@@ -1,0 +1,56 @@
+"""Hot types must stay ``__dict__``-free.
+
+Per-instance dicts on the kernel's high-churn objects cost ~100 bytes and
+a hashing indirection per attribute access; this suite pins every type on
+an allocation-heavy path to ``__slots__`` so a refactor can't silently
+reintroduce dicts.
+"""
+
+import pytest
+
+from repro.broker.message import Message
+from repro.broker.topic import Channel, Topic
+from repro.obs.context import TraceContext
+from repro.obs.events import Event as ObsEvent
+from repro.obs.span import Span
+from repro.sim.events import AllOf, AnyOf, Condition, Event, Timeout
+from repro.sim.kernel import Process, Simulator
+from repro.sim.pool import FreeList
+from repro.sim.resources import (Container, Resource, Store, StoreGet,
+                                 StorePut)
+
+#: Every type allocated per-event, per-message, or per-span at bench
+#: scale.  Adding a class here is the price of making it hot.
+HOT_TYPES = [
+    Event, Timeout, Condition, AllOf, AnyOf, Process, Simulator,
+    Store, StorePut, StoreGet, Resource, Container,
+    Channel, Topic, Message, FreeList,
+    TraceContext, Span, ObsEvent,
+]
+
+
+def _has_instance_dict(cls) -> bool:
+    """True if instances of ``cls`` carry a ``__dict__``.
+
+    Checks the whole MRO: a slotted subclass of an unslotted base still
+    pays for the dict, so asserting ``"__slots__" in cls.__dict__`` alone
+    would pass a broken hierarchy.
+    """
+    return any("__dict__" in base.__dict__ for base in cls.__mro__
+               if base is not object)
+
+
+@pytest.mark.kernel
+@pytest.mark.parametrize("cls", HOT_TYPES, ids=lambda c: c.__name__)
+def test_hot_type_defines_slots(cls):
+    assert "__slots__" in cls.__dict__ or "__slots__" in vars(cls), \
+        f"{cls.__name__} must define __slots__"
+    assert not _has_instance_dict(cls), \
+        f"{cls.__name__} instances still get a __dict__ (unslotted base?)"
+
+
+@pytest.mark.kernel
+def test_slotted_event_rejects_adhoc_attributes(sim):
+    evt = Event(sim)
+    with pytest.raises(AttributeError):
+        evt.scratch = 1  # noqa: attribute must not exist
