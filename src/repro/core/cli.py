@@ -29,7 +29,7 @@ class RaiCLI:
 
     SUBCOMMANDS = ("run", "submit", "ranking", "history", "download",
                    "stats", "top", "trace", "slo", "alerts", "events",
-                   "checkpoint", "restore", "version", "help")
+                   "shards", "checkpoint", "restore", "version", "help")
 
     def __init__(self, system, client: RaiClient):
         self.system = system
@@ -249,6 +249,47 @@ class RaiCLI:
         return render_table(
             ["alert", "state", "severity", "fired", "resolved", "summary"],
             rows, title=f"alerts at t={system.sim.now:.0f}s") + "\n"
+
+    def _cmd_shards(self, args: List[str]) -> str:
+        """``rai shards`` — per-partition control-plane snapshot.
+
+        One row per partition: routed/queued/dispatched traffic, steal
+        traffic in both directions, and the partition's worker fleet
+        (count, occupancy, warm-pool hit rate).  Skew between rows is the
+        signal the balancer and the shard gauges exist to surface.
+        """
+        from repro.analysis.report import render_table
+
+        system = self.system
+        shards = getattr(system, "shards", None)
+        if shards is None:
+            return ("This deployment is not sharded (shards=1); "
+                    "the control plane is the single rai/tasks queue.\n")
+        stats = shards.stats()
+        shard_map = stats["shard_map"]
+        rows = []
+        for p in stats["partitions"]:
+            wait = p["wait_ewma"]
+            rows.append([
+                p["topic"],
+                p["routed"],
+                p["queue_depth"],
+                p["in_flight"],
+                p["dispatched"],
+                f"{p['steals_in'] + p['rebalanced_in']}/{p['steals_out']}",
+                p["workers"],
+                f"{p['occupancy'] * 100:.0f}%",
+                f"{p['pool_hit_rate'] * 100:.0f}%",
+                "-" if wait is None else f"{wait:.1f}s",
+            ])
+        header = (f"shard map: {shard_map['n_partitions']} partitions, "
+                  f"hash seed {shard_map['seed']}, key team→username "
+                  f"(steal threshold {stats['steal_threshold']})")
+        table = render_table(
+            ["partition", "routed", "queued", "in-flt", "dispatched",
+             "steal in/out", "workers", "occ", "pool hit", "wait ewma"],
+            rows, title=f"shards at t={system.sim.now:.0f}s")
+        return header + "\n\n" + table + "\n"
 
     def _cmd_events(self, args: List[str]) -> str:
         """``rai events [job_id|type|tail N]`` — query the event log."""

@@ -231,13 +231,17 @@ class RaiClient:
         # Step 5 — subscribe to the log topic *before* publishing, so not
         # even the first worker message can be missed.
         consumer = Consumer(self.system.broker, f"log_{job_id}/#ch")
+        # Sharded deployments route the publish by fair-share key (team,
+        # else username) to the key's partition topic; unsharded, this is
+        # exactly the legacy "rai" topic.
+        task_topic = self.system.task_topic(self.team or self.username)
         publish_span = tracer.start_span("client.publish", parent=span,
                                          kind="client",
-                                         attributes={"topic": "rai"})
+                                         attributes={"topic": task_topic})
         try:
             # The publish span's context rides the message headers: the
             # broker's delivery and the worker's whole job chain onto it.
-            self.system.broker.publish("rai", job.to_message(),
+            self.system.broker.publish(task_topic, job.to_message(),
                                        headers=publish_span.headers())
         except BrokerError as exc:
             # The job never reached the queue; release the log subscription
@@ -253,6 +257,13 @@ class RaiClient:
         self.system.monitor.incr("jobs_submitted")
         self.system.monitor.record_submission(self.sim.now, kind)
         events = getattr(self.system, "events", None)
+        shards = getattr(self.system, "shards", None)
+        if events is not None and shards is not None:
+            events.emit("shard.route", span=publish_span, job_id=job_id,
+                        team=self.team, username=self.username,
+                        topic=task_topic,
+                        partition=shards.shard_map.partition(
+                            self.team or self.username))
         if events is not None:
             events.emit("job.state_change", span=span, job_id=job_id,
                         team=self.team, status="queued",

@@ -150,3 +150,30 @@ class SystemConfig:
     slo_queue_wait_p95_seconds: float = 30.0
     #: Default objective: submission success ratio target.
     slo_success_target: float = 0.99
+    #: Control-plane partitions (``repro.shard``).  >1 hash-partitions the
+    #: task topic, the submissions collection, and the scheduler by team
+    #: key (``tasks.pK`` / ``submissions.pK`` / one scheduler instance per
+    #: partition, with occupancy-driven work-stealing between them).
+    #: 1 — the default — runs the exact unsharded legacy code paths.
+    shards: int = 1
+    #: Seed of the shard map's keyed hash.  Part of durable state: a
+    #: restore must rebuild the same map or every routed document and
+    #: queue message lands on the wrong partition.
+    shard_seed: int = 0
+    #: Minimum queued messages a partition must hold before a dry sibling
+    #: may steal from it (pull steal and balancer both honour it).
+    shard_steal_threshold: int = 2
+    #: Sweep period of the opt-in shard balancer process
+    #: (``RaiSystem.start_shard_balancer``).
+    shard_balance_interval_seconds: float = 30.0
+
+    def __post_init__(self):
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.shard_seed < 0:
+            raise ValueError("shard_seed must be >= 0")
+        if self.shard_steal_threshold < 1:
+            raise ValueError("shard_steal_threshold must be >= 1")
+        if self.shard_balance_interval_seconds <= 0:
+            raise ValueError(
+                "shard_balance_interval_seconds must be positive")

@@ -85,6 +85,9 @@ class RaiWorker:
         self._retry_rng = system.rng.stream(f"worker:{self.id}:retry")
         self._stopped = False
         self._crashed = False
+        #: Home partition index on a sharded deployment (set by
+        #: ``RaiSystem.add_worker``); None = consume ``task_route`` as-is.
+        self.partition: Optional[int] = None
         # Manifest-aware fetch cache: content digests (chunk hashes, or
         # whole-object etags for non-chunked objects) this worker already
         # transferred, LRU-bounded by fetch_cache_bytes.  A repeat fetch
@@ -220,8 +223,22 @@ class RaiWorker:
 
     # -- the executor loop ------------------------------------------------------
 
+    def _make_consumer(self):
+        """The task consumer an executor slot opens.
+
+        Partition-homed workers on a sharded deployment get a
+        :class:`~repro.shard.steal.StealingConsumer` (home-channel
+        claims with pull-steal fallback); everything else — unsharded
+        systems, bare test harnesses, custom-pinned routes — gets a
+        plain :class:`~repro.broker.client.Consumer`, unchanged.
+        """
+        shards = getattr(self.system, "shards", None)
+        if shards is not None and self.partition is not None:
+            return shards.consumer(self.partition)
+        return Consumer(self.system.broker, self.config.task_route)
+
     def _executor_loop(self, slot: int):
-        consumer = Consumer(self.system.broker, self.config.task_route)
+        consumer = self._make_consumer()
         try:
             while not self._stopped:
                 # Prefetch: claim an already-queued message synchronously
@@ -726,10 +743,17 @@ class RaiWorker:
             "stderr_tail": stderr[-2000:],
         })
         self.system.monitor.incr("jobs_recorded")
-        scheduler = getattr(self.system, "scheduler", None)
-        if scheduler is not None and service_seconds is not None:
-            scheduler.note_completion(job.team or job.username,
-                                      service_seconds)
+        if service_seconds is not None:
+            # Feed the fair-share estimator that owns this job's key: the
+            # shared scheduler, or its partition's instance when sharded.
+            note = getattr(self.system, "note_completion", None)
+            if note is not None:
+                note(job.team or job.username, service_seconds)
+            else:
+                scheduler = getattr(self.system, "scheduler", None)
+                if scheduler is not None:
+                    scheduler.note_completion(job.team or job.username,
+                                              service_seconds)
 
         if job.kind is JobKind.SUBMIT and status is JobStatus.SUCCEEDED \
                 and internal_time is not None and job.team:

@@ -334,16 +334,45 @@ class DocumentDB:
         #: the deployment-wide one when created by :class:`RaiSystem`).
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._collections: Dict[str, Collection] = {}
+        #: Routing facades by base name: ``collection("submissions")``
+        #: returns the facade when that base is sharded, while the
+        #: physical ``submissions.pK`` shards stay ordinary collections
+        #: in ``_collections`` (journaling and snapshots see partitions,
+        #: never the facade).
+        self._sharded: Dict[str, Any] = {}
         #: Optional :class:`~repro.durability.DurabilityManager` journal.
         #: When set, every write (insert/update/delete/index/drop) is
         #: appended to the write-ahead log after it is applied.
         self.journal = None
 
-    def collection(self, name: str) -> Collection:
+    def collection(self, name: str):
+        sharded = self._sharded.get(name)
+        if sharded is not None:
+            return sharded
         coll = self._collections.get(name)
         if coll is None:
             coll = self._collections[name] = Collection(self, name)
         return coll
+
+    def shard_collection(self, name: str, shard_map,
+                         key_fields=("team", "username")):
+        """Register ``name`` as a sharded base routed by ``shard_map``.
+
+        Must happen before any document lands under the plain name — a
+        facade cannot adopt an already-populated unsharded collection
+        (that is a data migration, not a registration).
+        """
+        from repro.docdb.sharded import ShardedCollection
+
+        existing = self._collections.get(name)
+        if existing is not None and len(existing) > 0:
+            raise DocDbError(
+                f"cannot shard non-empty collection {name!r}")
+        self._collections.pop(name, None)
+        sharded = ShardedCollection(self, name, shard_map,
+                                    key_fields=key_fields)
+        self._sharded[name] = sharded
+        return sharded
 
     def __getitem__(self, name: str) -> Collection:
         return self.collection(name)
@@ -352,6 +381,11 @@ class DocumentDB:
         return sorted(self._collections)
 
     def drop_collection(self, name: str) -> None:
+        sharded = self._sharded.pop(name, None)
+        if sharded is not None:
+            for shard in sharded.shards:
+                self.drop_collection(shard.name)
+            return
         if self._collections.pop(name, None) is not None \
                 and self.journal is not None:
             self.journal.docdb_drop(name)

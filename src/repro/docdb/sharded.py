@@ -1,0 +1,295 @@
+"""Hash-sharded collections behind a planner-aware routing layer.
+
+A :class:`ShardedCollection` is a facade over N physical
+:class:`~repro.docdb.database.Collection` shards (``{base}.p0`` ..
+``{base}.p{N-1}``), registered on the database so every existing call
+site — the worker's dedup probe, the scheduler's history seed, dead-letter
+drains, durability fencing — keeps calling ``db.collection("submissions")``
+and transparently gets routed storage.  The physical shards are ordinary
+collections living in ``db._collections``, so journaling (each WAL record
+carries its ``{base}.p{K}`` name, i.e. its partition id) and snapshots
+work unchanged.
+
+Routing invariants:
+
+- A document lives on ``partition(key_of(doc))`` where ``key_of`` is the
+  first truthy of the key fields (``team`` then ``username`` — the same
+  precedence the broker router and fair-share scheduler use).
+- A query takes the **single-shard fast path** only when every matching
+  document's routing key is pinned by the filter: each key field is
+  constrained by a plain equality, walking the same first-truthy
+  precedence.  ``{"team": T}`` routes; ``{"username": U}`` alone does
+  not (a team-routed document can still match it) and scatters.
+- Everything else **scatter/gathers**: the filter runs on every shard
+  (each shard's own planner picks index vs scan) and the facade merges.
+  Sort/limit push down — each shard pre-sorts and truncates to
+  ``skip + limit`` before the merge, so a top-K over a semester of
+  submissions materializes K documents per shard, not the table.
+
+Mongo-style caveats (documented, deliberate): ``_id`` uniqueness and
+``unique=True`` indexes are per-shard guarantees unless the constrained
+field is the shard key, and scatter results interleave shards in
+partition order rather than global insertion order (sorted queries are
+order-identical to an unsharded collection up to cross-shard ties).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, List, Optional, Tuple
+
+from repro.docdb.aggregate import run_pipeline
+from repro.docdb.cursor import Cursor, _SortKey
+from repro.docdb.query import get_path
+from repro.errors import DocDbError
+
+
+class ShardedCursor(Cursor):
+    """A merged cursor over per-shard result chunks.
+
+    Inherits the full sort/skip/limit/projection surface; materialization
+    first collapses the chunks — with per-shard sort + ``skip+limit``
+    truncation pushed down when a sorted, limited read asks for it — and
+    then runs the ordinary cursor pipeline over the merged list, so the
+    final ordering uses exactly the unsharded comparator.
+    """
+
+    def __init__(self, chunks: List[List[dict]],
+                 projection: Optional[dict] = None,
+                 plan: Optional[dict] = None):
+        super().__init__([], projection=projection, plan=plan)
+        self._chunks = chunks
+
+    def _materialize(self) -> List[dict]:
+        if self._sort:
+            # Push the sort (and any skip+limit cap) down to each shard:
+            # a document outside its own shard's first skip+limit can
+            # never make the merged first skip+limit.
+            cap = None if self._limit is None else self._skip + self._limit
+            merged: List[dict] = []
+            for chunk in self._chunks:
+                docs = list(chunk)
+                for field, direction in reversed(self._sort):
+                    docs.sort(key=lambda d: _SortKey(get_path(d, field)),
+                              reverse=(direction == -1))
+                merged.extend(docs if cap is None else docs[:cap])
+            self._docs = merged
+        else:
+            self._docs = [doc for chunk in self._chunks for doc in chunk]
+        return super()._materialize()
+
+
+class ShardedCollection:
+    """Routing facade over N physical collection shards."""
+
+    def __init__(self, db, name: str, shard_map,
+                 key_fields: Tuple[str, ...] = ("team", "username")):
+        if not key_fields:
+            raise DocDbError("sharded collections need at least one key field")
+        self.db = db
+        self.name = name
+        self.shard_map = shard_map
+        self.key_fields = tuple(key_fields)
+        self.shards = [db.collection(shard_map.collection(name, p))
+                       for p in shard_map.partitions()]
+        self.last_plan: Optional[dict] = None
+
+    # -- routing ------------------------------------------------------------
+
+    def shard_key(self, doc: dict):
+        for field in self.key_fields:
+            value = doc.get(field)
+            if value:
+                return value
+        return ""
+
+    def partition_of(self, doc: dict) -> int:
+        return self.shard_map.partition(self.shard_key(doc))
+
+    def shard_for(self, doc: dict):
+        """The physical shard that owns ``doc``."""
+        return self.shards[self.partition_of(doc)]
+
+    def _filter_partition(self, filter: dict) -> Optional[int]:
+        """The single partition a filter pins, or None (scatter).
+
+        Sound only when the routing key of *every* possible match is
+        determined: walking key-field precedence, each field must appear
+        as a plain equality; a truthy value decides the key, a pinned
+        falsy value defers to the next field (exactly how documents
+        route), and an absent or operator-valued field leaves the key
+        open — scatter.
+        """
+        if not filter:
+            return None
+        for field in self.key_fields:
+            if field not in filter:
+                return None
+            value = filter[field]
+            if isinstance(value, (dict, list, tuple)):
+                return None
+            if value:
+                return self.shard_map.partition(value)
+        return self.shard_map.partition("")
+
+    # -- indexes ------------------------------------------------------------
+
+    def create_index(self, field: str, unique: bool = False,
+                     ordered: bool = False) -> list:
+        """Create the index on every shard (returns the per-shard indexes).
+
+        ``unique=True`` is enforced per shard; it is a global guarantee
+        only when ``field`` is the shard key (same-key documents share a
+        shard).
+        """
+        return [shard.create_index(field, unique=unique, ordered=ordered)
+                for shard in self.shards]
+
+    # -- writes ------------------------------------------------------------
+
+    def insert_one(self, document: dict) -> Any:
+        if not isinstance(document, dict):
+            raise DocDbError("documents must be dicts")
+        return self.shard_for(document).insert_one(document)
+
+    def insert_many(self, documents) -> List[Any]:
+        return [self.insert_one(doc) for doc in documents]
+
+    def update_one(self, filter: dict, update: dict,
+                   upsert: bool = False) -> int:
+        return self._targeted_write(
+            filter, lambda shard, up: shard.update_one(filter, update,
+                                                       upsert=up), upsert)
+
+    def replace_one(self, filter: dict, replacement: dict,
+                    upsert: bool = False) -> int:
+        return self._targeted_write(
+            filter, lambda shard, up: shard.replace_one(filter, replacement,
+                                                        upsert=up), upsert)
+
+    def _targeted_write(self, filter: dict, op, upsert: bool) -> int:
+        partition = self._filter_partition(filter or {})
+        if partition is not None:
+            return op(self.shards[partition], upsert)
+        for shard in self.shards:
+            if op(shard, False):
+                return 1
+        if upsert:
+            # An upsert seeded from a filter that cannot pin a partition
+            # has no well-defined home shard.
+            raise DocDbError(
+                f"upsert on sharded collection {self.name!r} requires "
+                f"the shard key ({'/'.join(self.key_fields)}) in the filter")
+        return 0
+
+    def update_many(self, filter: dict, update: dict) -> int:
+        partition = self._filter_partition(filter or {})
+        if partition is not None:
+            return self.shards[partition].update_many(filter, update)
+        return sum(shard.update_many(filter, update)
+                   for shard in self.shards)
+
+    def delete_one(self, filter: dict) -> int:
+        partition = self._filter_partition(filter or {})
+        if partition is not None:
+            return self.shards[partition].delete_one(filter)
+        for shard in self.shards:
+            if shard.delete_one(filter):
+                return 1
+        return 0
+
+    def delete_many(self, filter: dict) -> int:
+        partition = self._filter_partition(filter or {})
+        if partition is not None:
+            return self.shards[partition].delete_many(filter)
+        return sum(shard.delete_many(filter) for shard in self.shards)
+
+    # -- reads ------------------------------------------------------------
+
+    def find(self, filter: Optional[dict] = None,
+             projection: Optional[dict] = None) -> Cursor:
+        filter = filter or {}
+        partition = self._filter_partition(filter)
+        if partition is not None:
+            cursor = self.shards[partition].find(filter, projection)
+            cursor._plan = dict(cursor._plan or {}, sharded=True,
+                                shard=partition)
+            self.last_plan = dict(cursor._plan)
+            return cursor
+        chunks, shard_plans = [], []
+        examined = total = matched = 0
+        for shard in self.shards:
+            cursor = shard.find(filter)
+            chunks.append(cursor._docs)
+            plan = cursor.explain()
+            shard_plans.append(plan)
+            examined += plan.get("docs_examined", 0)
+            total += plan.get("docs_total", 0)
+            matched += plan.get("docs_matched", 0)
+        plan = {"collection": self.name, "path": "scatter", "sharded": True,
+                "index": None, "index_kind": None, "shards": shard_plans,
+                "docs_examined": examined, "docs_total": total,
+                "docs_matched": matched}
+        self.last_plan = dict(plan)
+        return ShardedCursor(chunks, projection=projection, plan=plan)
+
+    def find_one(self, filter: Optional[dict] = None,
+                 projection: Optional[dict] = None) -> Optional[dict]:
+        return self.find(filter, projection).first()
+
+    def explain(self, filter: Optional[dict] = None) -> dict:
+        filter = filter or {}
+        partition = self._filter_partition(filter)
+        if partition is not None:
+            return dict(self.shards[partition].explain(filter),
+                        sharded=True, shard=partition)
+        return {"collection": self.name, "path": "scatter", "sharded": True,
+                "index": None, "index_kind": None,
+                "shards": [shard.explain(filter) for shard in self.shards]}
+
+    def count_documents(self, filter: Optional[dict] = None) -> int:
+        filter = filter or {}
+        if not filter:
+            return len(self)
+        partition = self._filter_partition(filter)
+        if partition is not None:
+            return self.shards[partition].count_documents(filter)
+        return sum(shard.count_documents(filter) for shard in self.shards)
+
+    def distinct(self, field: str,
+                 filter: Optional[dict] = None) -> List[Any]:
+        seen: List[Any] = []
+        for shard in self.shards:
+            for value in shard.distinct(field, filter):
+                if value not in seen:
+                    seen.append(value)
+        return seen
+
+    def aggregate(self, pipeline: List[dict]) -> List[dict]:
+        docs = [copy.deepcopy(doc) for shard in self.shards
+                for doc in shard._docs.values()]
+        return run_pipeline(docs, pipeline)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def estimated_size_bytes(self) -> int:
+        return sum(shard.estimated_size_bytes() for shard in self.shards)
+
+    @property
+    def planner_stats(self) -> dict:
+        """Planner counters summed across the physical shards."""
+        totals = {key: 0 for key in
+                  ("index_hits", "range_hits", "scans", "docs_examined")}
+        for shard in self.shards:
+            for key, value in shard.planner_stats.items():
+                totals[key] += value
+        return totals
+
+    def placement(self) -> dict:
+        """Document counts per partition (skew introspection)."""
+        return {shard.name: len(shard) for shard in self.shards}
+
+    def __repr__(self):
+        return (f"ShardedCollection({self.name!r}, "
+                f"n_partitions={self.shard_map.n_partitions})")

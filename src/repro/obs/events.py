@@ -47,6 +47,8 @@ class EventType:
     ALERT_RESOLVED = "alert.resolved"
     DURABILITY_SNAPSHOT = "durability.snapshot"
     DURABILITY_REPLAY = "durability.replay"
+    SHARD_ROUTE = "shard.route"
+    SHARD_STEAL = "shard.steal"
 
 
 class Event:
