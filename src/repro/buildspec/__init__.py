@@ -16,7 +16,13 @@ Version ``0.2`` adds the §V "machine requirements" extension: an optional
 exact inverses (``parse_build_spec(render_build_spec(spec)) == spec``).
 """
 
-from repro.buildspec.spec import RaiBuildSpec, ResourceRequest, SUPPORTED_VERSIONS
+from repro.buildspec.spec import (
+    CACHEABLE_PROGRAMS,
+    RaiBuildSpec,
+    ResourceRequest,
+    SUPPORTED_VERSIONS,
+    command_cacheable,
+)
 from repro.buildspec.parser import parse_build_spec, render_build_spec
 from repro.buildspec.defaults import (
     DEFAULT_BUILD_YAML,
@@ -26,9 +32,11 @@ from repro.buildspec.defaults import (
 )
 
 __all__ = [
+    "CACHEABLE_PROGRAMS",
     "RaiBuildSpec",
     "ResourceRequest",
     "SUPPORTED_VERSIONS",
+    "command_cacheable",
     "parse_build_spec",
     "render_build_spec",
     "DEFAULT_BUILD_YAML",

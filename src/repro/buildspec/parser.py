@@ -75,13 +75,17 @@ def parse_build_spec(text: str) -> RaiBuildSpec:
             raise SpecParseError(f"invalid resources section: {exc}") from exc
 
     return RaiBuildSpec(version=version, image=str(image),
-                        build_commands=build_commands, resources=resources)
+                        build_commands=build_commands, resources=resources,
+                        cache_enabled=bool(rai.get("cache", True)))
 
 
 def render_build_spec(spec: RaiBuildSpec) -> str:
     """Render a spec back to canonical YAML (inverse of parsing)."""
+    rai: dict = {"version": spec.version, "image": spec.image}
+    if not spec.cache_enabled:
+        rai["cache"] = False
     doc = {
-        "rai": {"version": spec.version, "image": spec.image},
+        "rai": rai,
         "commands": {"build": list(spec.build_commands)},
     }
     if spec.resources is not None:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import shlex
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -38,6 +39,9 @@ class RaiBuildSpec:
     image: str
     build_commands: List[str] = field(default_factory=list)
     resources: Optional[ResourceRequest] = None
+    #: ``rai.cache: false`` opts a spec out of the build-artifact cache
+    #: entirely (e.g. benchmarking an intentionally noisy build).
+    cache_enabled: bool = True
 
     def validate(self, image_whitelist: Optional[Sequence[str]] = None) -> None:
         """Raise a :class:`~repro.errors.BuildSpecError` subclass on any
@@ -65,3 +69,38 @@ class RaiBuildSpec:
         if image_whitelist is not None and self.image not in image_whitelist:
             raise SpecValidationError(
                 f"image {self.image!r} is not on the course whitelist")
+
+
+#: Programs whose effects are fully described by filesystem reads and
+#: writes — safe to capture and replay.  Run/grading commands (./ece408,
+#: nvprof, /usr/bin/time, cp, echo, ...) are deliberately absent: their
+#: value is the *execution* (timing, profiles, grading output), not the
+#: files they leave behind, so they always run.
+CACHEABLE_PROGRAMS = frozenset({"cmake", "make"})
+
+#: Shell operators that chain sub-commands inside one command line.
+_CHAIN_OPERATORS = ("&&", "||", ";", "|")
+
+
+def command_cacheable(command: str) -> bool:
+    """True when every sub-command of ``command`` is a cacheable program.
+
+    A single non-cacheable segment poisons the whole line: replaying half
+    a pipeline would skip the half whose execution matters.
+    """
+    try:
+        tokens = shlex.split(command)
+    except ValueError:
+        return False
+    if not tokens:
+        return False
+    segments: List[List[str]] = [[]]
+    for token in tokens:
+        if token in _CHAIN_OPERATORS:
+            segments.append([])
+        else:
+            segments[-1].append(token)
+    for argv in segments:
+        if not argv or argv[0] not in CACHEABLE_PROGRAMS:
+            return False
+    return True

@@ -29,7 +29,8 @@ class RaiCLI:
 
     SUBCOMMANDS = ("run", "submit", "ranking", "history", "download",
                    "stats", "top", "trace", "slo", "alerts", "events",
-                   "shards", "checkpoint", "restore", "version", "help")
+                   "shards", "cache", "checkpoint", "restore", "version",
+                   "help")
 
     def __init__(self, system, client: RaiClient):
         self.system = system
@@ -290,6 +291,62 @@ class RaiCLI:
              "steal in/out", "workers", "occ", "pool hit", "wait ewma"],
             rows, title=f"shards at t={system.sim.now:.0f}s")
         return header + "\n\n" + table + "\n"
+
+    def _cmd_cache(self, args: List[str]) -> str:
+        """``rai cache`` — build-artifact and chunk-fetch cache health.
+
+        Occupancy, hit rates, and the hottest build-cache keys, plus one
+        row per worker's chunk fetch cache.  The numbers the incremental
+        build path lives or dies by.
+        """
+        from repro.analysis.report import render_table
+
+        system = self.system
+        cache = getattr(system, "build_cache", None)
+        if cache is None:
+            lines = ["build cache: disabled on this deployment"]
+        else:
+            stats = cache.stats()
+            lines = [
+                f"build cache: {stats['entries']} entries, "
+                f"{stats['blobs']} blobs, "
+                f"{stats['blob_bytes']}/{stats['max_bytes']} bytes "
+                f"({stats['blob_bytes'] / stats['max_bytes'] * 100:.0f}% full)"
+                if stats["max_bytes"] else
+                f"build cache: {stats['entries']} entries, "
+                f"{stats['blobs']} blobs, {stats['blob_bytes']} bytes",
+                f"  lookups: {stats['hits']} hits / {stats['misses']} misses "
+                f"(hit rate {stats['hit_rate'] * 100:.0f}%), "
+                f"{stats['evictions']} evictions, "
+                f"{stats['seen_sources']} sources seen",
+            ]
+            top = cache.top_entries(5)
+            if top:
+                rows = [[entry["key"], entry["command"][:40], entry["hits"],
+                         entry["bytes"], entry["exit_code"]]
+                        for entry in top]
+                lines.append("")
+                lines.append(render_table(
+                    ["key", "command", "hits", "bytes", "exit"],
+                    rows, title="hottest build-cache entries"))
+        worker_rows = []
+        for worker in system.workers:
+            fetch = worker.fetch_cache_stats()
+            worker_rows.append([
+                worker.id,
+                fetch["entries"],
+                f"{fetch['bytes']}/{fetch['budget_bytes']}",
+                fetch["hit_bytes"],
+                fetch["miss_bytes"],
+                f"{fetch['hit_rate'] * 100:.0f}%",
+                fetch["evictions"],
+            ])
+        table = render_table(
+            ["worker", "entries", "bytes/budget", "hit B", "miss B",
+             "hit%", "evicted"],
+            worker_rows, title="chunk fetch caches") if worker_rows \
+            else "no workers"
+        return "\n".join(lines) + "\n\n" + table + "\n"
 
     def _cmd_events(self, args: List[str]) -> str:
         """``rai events [job_id|type|tail N]`` — query the event log."""

@@ -34,7 +34,7 @@ from repro.errors import (
     SubmissionRejected,
 )
 from repro.storage.chunkstore import Manifest
-from repro.vfs import VirtualFileSystem, pack_tree
+from repro.vfs import VirtualFileSystem, file_digest, pack_tree
 
 #: Files a final submission must contain (§V, Student Final Submission):
 #: USAGE (how to reproduce the profile results) and report.pdf.
@@ -154,19 +154,43 @@ class RaiClient:
         # store-side negotiation for chunks other uploads already hold)
         # and transfers only unseen chunks and the manifest itself.
         dedup = self.system.config.dedup_uploads
+        file_digests = None
         if dedup:
             archive = pack_tree(self.project_fs, "/", compression="none")
+            file_digests = {
+                path: file_digest(self.project_fs.read_file(path))
+                for path in self.project_fs.iter_files("/")}
             manifest = Manifest.from_bytes(
-                archive, self.system.storage.chunk_store.chunk_size)
-            # Chunks the local delta says changed since the last upload;
-            # the store negotiation then prunes those some *other* upload
-            # already holds (and re-adds any the server has since
-            # expired) — the negotiation is ground truth for the wire.
-            delta = manifest.delta(self._last_manifest)
+                archive, self.system.storage.chunk_store.chunk_size,
+                files=file_digests)
+            # A chunk-size reconfiguration shifts every boundary: a base
+            # chunked at the old size would yield a bogus delta, so it is
+            # stale by definition.
+            if (self._last_manifest is not None
+                    and self._last_manifest.chunk_size
+                    != manifest.chunk_size):
+                self._last_manifest = None
+            # The base the delta is encoded against: this client's last
+            # upload when it has one, else whatever the server still
+            # holds for this user (git-style negotiation — a fresh client
+            # instance or a post-restore session still ships a delta).
+            base = self._last_manifest
+            base_kind = "local"
+            if base is None:
+                base = self.system.storage.negotiate_base(
+                    self.system.config.upload_bucket, self.username)
+                base_kind = "negotiated" if base is not None else "none"
+            if base is not None and base.chunk_size != manifest.chunk_size:
+                base, base_kind = None, "none"
+            # Chunks the delta says changed since the base; the store
+            # negotiation then prunes those some *other* upload already
+            # holds (and re-adds any the server has since expired) — the
+            # negotiation is ground truth for the wire.
+            delta = manifest.delta(base)
             self.system.monitor.incr("client_delta_chunks", len(delta))
             wire_bytes = (
                 self.system.storage.chunk_store.missing_bytes(manifest)
-                + manifest.wire_size())
+                + manifest.delta_wire_size(base))
         else:
             archive = pack_tree(self.project_fs, "/")
             manifest = None
@@ -181,7 +205,8 @@ class RaiClient:
         if dedup:
             upload_span.add_event("chunk.negotiation",
                                   delta_chunks=len(delta),
-                                  wire_bytes=wire_bytes)
+                                  wire_bytes=wire_bytes,
+                                  base=base_kind)
         yield self.sim.timeout(upload_seconds)
         job_id = new_job_id()
         result.job_id = job_id
@@ -194,7 +219,8 @@ class RaiClient:
                 self.system.config.upload_bucket, upload_key, archive,
                 metadata={"username": self.username, "team": self.team or "",
                           "kind": kind.value, "job_id": job_id},
-                padding_bytes=self.project_padding_bytes, dedup=dedup)
+                padding_bytes=self.project_padding_bytes, dedup=dedup,
+                file_digests=file_digests)
         except StorageError as exc:
             self.system.monitor.incr("client_upload_failures")
             upload_span.end(status="error", message=str(exc))
@@ -222,6 +248,7 @@ class RaiClient:
             access_key=self.profile.access_key,
             signature="",
             submitted_at=self.sim.now,
+            source_digest=manifest.tree_digest() if manifest else None,
         )
         body = job.to_message()
         body.pop("signature")

@@ -166,6 +166,22 @@ class SystemConfig:
     #: Sweep period of the opt-in shard balancer process
     #: (``RaiSystem.start_shard_balancer``).
     shard_balance_interval_seconds: float = 30.0
+    #: Content-keyed build-artifact cache (``repro.storage.buildcache``):
+    #: workers replay recorded ``cmake``/``make`` results instead of
+    #: re-executing when the command's observed inputs are unchanged.
+    #: Disable to reproduce the always-rebuild path.
+    buildcache_enabled: bool = True
+    #: Byte budget for unique cached artifact blobs (LRU beyond it).
+    buildcache_max_bytes: int = 256 << 20
+    #: Idle TTL of a cache entry before eviction.
+    buildcache_ttl_seconds: float = 14 * 24 * 3600.0
+    #: Fixed per-hit replay latency (cache probe + bookkeeping); the
+    #: artifact transfer itself is charged from bytes over the worker's
+    #: storage bandwidth.
+    buildcache_replay_seconds: float = 0.05
+    #: SJF cost multiplier for jobs whose source tree already completed a
+    #: cached build (< 1.0 — the scheduler expects mostly cache hits).
+    buildcache_hit_cost_factor: float = 0.35
 
     def __post_init__(self):
         if self.shards < 1:
@@ -177,3 +193,12 @@ class SystemConfig:
         if self.shard_balance_interval_seconds <= 0:
             raise ValueError(
                 "shard_balance_interval_seconds must be positive")
+        if self.buildcache_max_bytes < 0:
+            raise ValueError("buildcache_max_bytes must be >= 0")
+        if self.buildcache_ttl_seconds <= 0:
+            raise ValueError("buildcache_ttl_seconds must be positive")
+        if self.buildcache_replay_seconds < 0:
+            raise ValueError("buildcache_replay_seconds must be >= 0")
+        if not 0.0 < self.buildcache_hit_cost_factor <= 1.0:
+            raise ValueError(
+                "buildcache_hit_cost_factor must be in (0, 1]")

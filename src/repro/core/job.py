@@ -77,10 +77,15 @@ class Job:
     signature: str
     submitted_at: float
     status: JobStatus = JobStatus.CREATED
+    #: Content digest of the uploaded source tree (manifest file map).
+    #: Optional: pre-delta clients and dedup-off uploads omit it; when
+    #: absent the wire body omits the key entirely so signatures over
+    #: older messages (WAL replays) still verify.
+    source_digest: Optional[str] = None
 
     def to_message(self) -> dict:
         """The broker message body (JSON-safe)."""
-        return {
+        body = {
             "job_id": self.id,
             "kind": self.kind.value,
             "username": self.username,
@@ -92,6 +97,9 @@ class Job:
             "signature": self.signature,
             "submitted_at": self.submitted_at,
         }
+        if self.source_digest is not None:
+            body["source_digest"] = self.source_digest
+        return body
 
     @staticmethod
     def from_message(body: dict) -> "Job":
@@ -107,6 +115,7 @@ class Job:
             signature=body["signature"],
             submitted_at=body["submitted_at"],
             status=JobStatus.QUEUED,
+            source_digest=body.get("source_digest"),
         )
 
 

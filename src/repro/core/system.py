@@ -36,6 +36,7 @@ from repro.shard import ShardMap, ShardedControlPlane
 from repro.sim.kernel import Simulator
 from repro.sim.monitor import Monitor
 from repro.sim.random import RandomStreams
+from repro.storage.buildcache import BuildCache
 from repro.storage.lifecycle import LifecycleRule
 from repro.storage.object_store import ObjectStore
 
@@ -97,6 +98,16 @@ class RaiSystem:
                                     tracer=self.tracer, events=self.events)
         self.storage = ObjectStore(self.sim,
                                    chunk_size=self.config.chunk_size_bytes)
+        #: Content-keyed build-artifact cache shared by every worker
+        #: (``repro.storage.buildcache``); None reproduces the
+        #: always-rebuild path.
+        self.build_cache: Optional[BuildCache] = None
+        if self.config.buildcache_enabled:
+            self.build_cache = BuildCache(
+                clock=lambda: self.sim.now,
+                max_bytes=self.config.buildcache_max_bytes,
+                ttl_seconds=self.config.buildcache_ttl_seconds,
+                metrics=self.metrics, events=self.events)
         self.db = DocumentDB(self.sim, metrics=self.metrics)
 
         #: The sharded control plane (``repro.shard``) when ``shards > 1``;
@@ -172,6 +183,12 @@ class RaiSystem:
         self.metrics.gauge("fleet_slot_utilization",
                            fn=self.fleet_slot_utilization)
         self.metrics.gauge("warm_pool_hit_rate", fn=self.fleet_pool_hit_rate)
+        self.metrics.gauge("buildcache_hit_rate",
+                           fn=lambda: (self.build_cache.hit_rate()
+                                       if self.build_cache else 0.0))
+        self.metrics.gauge("buildcache_bytes",
+                           fn=lambda: (self.build_cache.total_blob_bytes
+                                       if self.build_cache else 0))
 
         # The SLO loop: scraper (registry snapshots on the sim clock) →
         # engine (multi-window burn rates over the default objectives) →
@@ -506,7 +523,23 @@ class RaiSystem:
                 deadline_window_seconds=self.config
                 .deadline_boost_window_seconds),
             estimator=RuntimeEstimator(history_fn=self._service_history),
-            metrics=self.metrics, events=self.events)
+            metrics=self.metrics, events=self.events,
+            hit_predictor=(self._predict_build_hit
+                           if self.build_cache is not None else None),
+            hit_cost_factor=self.config.buildcache_hit_cost_factor)
+
+    def _predict_build_hit(self, msg) -> bool:
+        """SJF hint: has this message's source tree built here before?
+
+        Purely advisory — a wrong guess only perturbs queue ordering by
+        the cost factor, never correctness.
+        """
+        if self.build_cache is None:
+            return False
+        body = getattr(msg, "body", None)
+        if not isinstance(body, dict):
+            return False
+        return self.build_cache.seen_source(body.get("source_digest"))
 
     def task_topic(self, key: Optional[str]) -> str:
         """The topic a submission keyed by ``key`` publishes to.
@@ -619,6 +652,8 @@ class RaiSystem:
             },
             "submissions_recorded": len(submissions),
             "storage": self.storage.stats(),
+            "buildcache": (self.build_cache.stats()
+                           if self.build_cache is not None else None),
             "database": self.db.stats(),
             "broker_counters": self.broker.counters.as_dict(),
             "rate_limiter": {

@@ -25,6 +25,7 @@ from typing import List, Optional
 
 from repro.broker.client import Consumer, Producer
 from repro.buildspec.parser import parse_build_spec
+from repro.buildspec.spec import command_cacheable
 from repro.container.pool import WarmContainerPool
 from repro.container.runtime import ContainerRuntime
 from repro.container.volumes import VolumeMount, cuda_volume
@@ -41,7 +42,9 @@ from repro.errors import (
     TransientStorageError,
 )
 from repro.gpu.device import get_device
-from repro.vfs import VirtualFileSystem, pack_tree, unpack_tree
+from repro.storage.buildcache import image_cache_key
+from repro.storage.chunkstore import digest_file_map
+from repro.vfs import VirtualFileSystem, file_digest, pack_tree, unpack_tree
 
 _worker_counter = itertools.count(1)
 
@@ -95,6 +98,9 @@ class RaiWorker:
         # edits transfers only its changed chunks.
         self._fetch_cache: "OrderedDict[str, int]" = OrderedDict()
         self._fetch_cache_bytes = 0
+        self.fetch_cache_hit_bytes = 0
+        self.fetch_cache_miss_bytes = 0
+        self.fetch_cache_evictions = 0
         #: Open worker.job spans (one per in-flight job) so a crash can
         #: annotate and close them — the interrupted generators never
         #: reach their own finally blocks' span bookkeeping in time.
@@ -408,6 +414,7 @@ class RaiWorker:
             self._check_deadline(deadline)
             project_fs = VirtualFileSystem(clock=lambda: self.sim.now)
             unpack_tree(archive.data, project_fs, "/")
+            source_digest = self._source_digest(archive, project_fs)
 
             # Step 3 — container (pull missing image layers on a cache
             # miss, then acquire warm from the pool or create cold).
@@ -459,6 +466,11 @@ class RaiWorker:
                     "container.run", parent=wspan, kind="container",
                     attributes={"image": spec.image,
                                 "container": container.id})
+                build_cache = self.system.build_cache
+                cache_image_key = None
+                if build_cache is not None and spec.cache_enabled:
+                    cache_image_key = image_cache_key(
+                        self.runtime.registry.get(spec.image))
                 exit_code = 0
                 for command in spec.build_commands:
                     self._check_deadline(deadline)
@@ -466,7 +478,72 @@ class RaiWorker:
                     exec_span = tracer.start_span(
                         "container.exec", parent=run_span, kind="container",
                         attributes={"command": command})
-                    result = container.exec_line(command)
+                    cacheable = (cache_image_key is not None
+                                 and command_cacheable(command))
+                    entry = None
+                    if cacheable:
+                        entry = build_cache.lookup(
+                            cache_image_key, container.workdir, command,
+                            container.fs, job_id=job.id)
+                    if entry is not None:
+                        # Cache hit: replay the recorded artifact tree,
+                        # streams, and exit code instead of executing.
+                        # Burn the timing-noise draws the real execution
+                        # would have taken, so every downstream RNG
+                        # consumer sees the exact same sequence and run
+                        # output stays byte-identical cache on or off.
+                        for _ in range(entry.rng_draws):
+                            self._timing_noise()
+                        artifact_bytes = build_cache.apply(
+                            entry, container.fs)
+                        replay_seconds = (
+                            self.system.config.buildcache_replay_seconds
+                            + artifact_bytes
+                            / self.config.storage_bandwidth_bps)
+                        exec_span.set_attribute("cache", "hit")
+                        exec_span.add_event(
+                            "buildcache.replay", key=entry.key[:16],
+                            artifact_bytes=artifact_bytes,
+                            saved_seconds=round(
+                                entry.charged_seconds - replay_seconds, 6))
+                        yield self.sim.timeout(replay_seconds)
+                        if entry.stdout:
+                            publish_log("stdout", entry.stdout)
+                        if entry.stderr:
+                            publish_log("stderr", entry.stderr)
+                        exec_span.set_attribute("exit_code",
+                                                entry.exit_code)
+                        if entry.exit_code != 0:
+                            publish_log(
+                                "stderr",
+                                f"✗ command exited with status "
+                                f"{entry.exit_code}\n")
+                            exec_span.end(
+                                status="error",
+                                message=f"exit {entry.exit_code}")
+                            exit_code = entry.exit_code
+                            break
+                        exec_span.end()
+                        continue
+                    if cacheable:
+                        # Record what the command observes (reads, stat
+                        # probes, tree walks) and writes, plus how many
+                        # timing-noise draws it consumes.
+                        trace = container.fs.start_tracking()
+                        draws = [0]
+
+                        def counted_noise(_draws=draws):
+                            _draws[0] += 1
+                            return self._timing_noise()
+
+                        container.time_dilation = counted_noise
+                    try:
+                        result = container.exec_line(command)
+                    finally:
+                        if cacheable:
+                            if container.fs is not None:
+                                container.fs.stop_tracking()
+                            container.time_dilation = self._timing_noise
                     # sim_duration already includes contention dilation
                     # (applied at charge time inside the container).
                     yield self.sim.timeout(result.sim_duration)
@@ -477,6 +554,22 @@ class RaiWorker:
                         exec_span.end(status="error", message=result.error)
                         exit_code = result.exit_code
                         break
+                    if cacheable:
+                        # Publish only after the execution's sim time has
+                        # fully elapsed: an interrupt (crash) inside the
+                        # timeout above unwinds this generator before the
+                        # entry exists, so no partial artifact can ever
+                        # be observed.  Non-zero exits are cached too —
+                        # a deterministic compile error replays as
+                        # cheaply as a success.
+                        build_cache.capture(
+                            cache_image_key, container.workdir, command,
+                            trace, container.fs,
+                            result.stdout, result.stderr,
+                            result.exit_code, result.sim_duration,
+                            draws[0], source_digest=source_digest,
+                            job_id=job.id)
+                        exec_span.set_attribute("cache", "miss")
                     if result.exit_code != 0:
                         publish_log(
                             "stderr",
@@ -632,10 +725,41 @@ class RaiWorker:
         while self._fetch_cache_bytes > budget:
             _, evicted = self._fetch_cache.popitem(last=False)
             self._fetch_cache_bytes -= evicted
+            self.fetch_cache_evictions += 1
+        self.fetch_cache_hit_bytes += saved
+        self.fetch_cache_miss_bytes += transferred
         self.system.monitor.incr("worker_fetch_bytes", transferred)
         if saved:
             self.system.monitor.incr("worker_fetch_bytes_saved", saved)
         return transferred
+
+    def fetch_cache_stats(self) -> dict:
+        """Occupancy and effectiveness of the chunk fetch cache."""
+        total = self.fetch_cache_hit_bytes + self.fetch_cache_miss_bytes
+        return {
+            "entries": len(self._fetch_cache),
+            "bytes": self._fetch_cache_bytes,
+            "budget_bytes": self.config.fetch_cache_bytes,
+            "hit_bytes": self.fetch_cache_hit_bytes,
+            "miss_bytes": self.fetch_cache_miss_bytes,
+            "evictions": self.fetch_cache_evictions,
+            "hit_rate": (self.fetch_cache_hit_bytes / total) if total
+            else 0.0,
+        }
+
+    def _source_digest(self, archive, project_fs) -> Optional[str]:
+        """Content identity of the fetched source tree.
+
+        Free when the upload's manifest carries per-file digests (the
+        delta-ingest path); otherwise derived by hashing the unpacked
+        tree once — same canonical form either way.
+        """
+        manifest = getattr(archive, "manifest", None)
+        if manifest is not None and manifest.files:
+            return manifest.tree_digest()
+        files = {path: file_digest(project_fs.read_file(path))
+                 for path in project_fs.iter_files("/")}
+        return digest_file_map(files) if files else None
 
     def _check_deadline(self, deadline) -> None:
         if deadline is not None and self.sim.now >= deadline:

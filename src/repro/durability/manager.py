@@ -229,6 +229,8 @@ class DurabilityManager:
         counts["fenced"] = fenced
         counts["chunk_store"] = \
             self.system.storage.rebuild_chunk_refcounts()
+        counts["upload_bases"] = \
+            self.system.storage.rebuild_upload_bases()
         self._advance_watermarks()
         sim = self.system.sim
         if clock_target > sim.now:

@@ -4,12 +4,14 @@ A snapshot is the compaction point of the write-ahead log: everything a
 cold-started :class:`~repro.core.system.RaiSystem` needs to continue the
 semester — docdb collections with their indexes and id counters, durable
 broker topics with queued/in-flight/dead-lettered messages, the object
-store (buckets, lifecycle rules, objects, unique chunks), issued
+store (buckets, lifecycle rules, objects, unique chunks), the build
+artifact cache (entries + blobs; refcounts rebuild on install), issued
 credentials, id watermarks, the event-log ring, and the simulation
 clock.  Deliberately *not* captured: soft state that rebuilds itself —
-chunk refcounts (recomputed from live manifests), scheduler fair-share
-ledgers (re-seeded from submission history), worker pools and fetch
-caches, rate-limiter windows.
+chunk refcounts (recomputed from live manifests), upload-base
+negotiation registry (recomputed from live objects), scheduler
+fair-share ledgers (re-seeded from submission history), worker pools
+and fetch caches, rate-limiter windows.
 
 Writes are atomic (temp file + rename) so a crash during checkpoint
 leaves the previous snapshot intact.
@@ -82,6 +84,9 @@ def capture(system) -> dict:
         "storage": _capture_storage(system.storage),
         "keystore": [asdict(cred) for cred in system.keystore.credentials()],
         "events": _capture_events(system.events),
+        "buildcache": (system.build_cache.to_snapshot()
+                       if getattr(system, "build_cache", None) is not None
+                       else None),
     }
 
 
@@ -204,6 +209,13 @@ def install(system, snap: dict) -> dict:
     counts["credentials"] = len(snap.get("keystore", []))
     counts["events"] = _install_events(system.events,
                                        snap.get("events", {}))
+    # Build cache: refcounts rebuild from entry blob lists on install;
+    # torn entries (missing blobs) are dropped, never half-restored.
+    # A snapshot from a cache-disabled config (None) or from before the
+    # cache existed (key absent) restores to an empty cache.
+    bc_snap = snap.get("buildcache")
+    if bc_snap is not None and getattr(system, "build_cache", None) is not None:
+        counts["buildcache"] = system.build_cache.install_snapshot(bc_snap)
     watermarks = snap.get("watermarks", {})
     from repro.broker.message import advance_message_ids
     from repro.core.job import advance_job_ids

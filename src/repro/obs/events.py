@@ -41,6 +41,9 @@ class EventType:
     POOL_HIT = "pool.hit"
     POOL_MISS = "pool.miss"
     POOL_EVICT = "pool.evict"
+    BUILDCACHE_HIT = "buildcache.hit"
+    BUILDCACHE_MISS = "buildcache.miss"
+    BUILDCACHE_EVICT = "buildcache.evict"
     AUTOSCALE_DECISION = "autoscale.decision"
     SCHED_DISPATCH = "sched.dispatch"
     ALERT_FIRED = "alert.fired"

@@ -63,13 +63,19 @@ class JobScheduler:
 
     def __init__(self, clock, policy: Optional[SchedulerPolicy] = None,
                  estimator: Optional[RuntimeEstimator] = None,
-                 metrics=None, events=None):
+                 metrics=None, events=None,
+                 hit_predictor=None, hit_cost_factor: float = 0.35):
         self.clock = clock
         self.policy = policy or SchedulerPolicy()
         self.estimator = estimator or RuntimeEstimator()
         self.metrics = metrics
         #: Optional :class:`~repro.obs.events.EventLog` for dispatch records.
         self.events = events
+        #: Optional ``predictor(msg) -> bool``: True when the job is
+        #: expected to hit the build-artifact cache (its source tree has
+        #: built before), shrinking its SJF cost by ``hit_cost_factor``.
+        self.hit_predictor = hit_predictor
+        self.hit_cost_factor = float(hit_cost_factor)
         self._deficits: Dict[str, float] = {}
         self.total_dispatched = 0
         self.total_boosted = 0
@@ -103,9 +109,12 @@ class JobScheduler:
             return False
         return deadline - self.policy.deadline_window_seconds <= ts <= deadline
 
-    def _cost(self, key: str) -> float:
-        return min(self.estimator.expected(key),
-                   self.policy.deficit_cap_seconds)
+    def _cost(self, key: str, msg=None) -> float:
+        expected = self.estimator.expected(key)
+        if msg is not None and self.hit_predictor is not None \
+                and self.hit_predictor(msg):
+            expected *= self.hit_cost_factor
+        return min(expected, self.policy.deficit_cap_seconds)
 
     # -- the channel-facing policy --------------------------------------
 
@@ -136,7 +145,8 @@ class JobScheduler:
         teams = list(first_index)
         deficits = self._deficits
         cap = self.policy.deficit_cap_seconds
-        costs = {key: self._cost(key) for key in teams}
+        costs = {key: self._cost(key, items[first_index[key]])
+                 for key in teams}
         eligible = [k for k in teams if deficits.get(k, 0.0) >= costs[k]]
         while not eligible:
             for key in teams:

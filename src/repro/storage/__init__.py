@@ -21,6 +21,7 @@ from repro.storage.chunkstore import (
     Manifest,
     split_chunks,
 )
+from repro.storage.buildcache import BuildCache, CacheEntry, image_cache_key
 from repro.storage.lifecycle import LifecycleRule
 from repro.storage.object_store import Bucket, ObjectStore
 from repro.storage.multipart import MultipartUpload
@@ -35,6 +36,9 @@ __all__ = [
     "ChunkedObject",
     "Manifest",
     "split_chunks",
+    "BuildCache",
+    "CacheEntry",
+    "image_cache_key",
     "LifecycleRule",
     "Bucket",
     "ObjectStore",

@@ -1,0 +1,561 @@
+"""Content-keyed build-artifact cache (incremental builds).
+
+Resubmission storms re-run the same ``cmake``/``make`` command list over
+a source tree whose edits a build command frequently never reads (tuning
+files, READMEs).  This module is the ccache-direct-mode answer: each
+executed build command is recorded as a :class:`CacheEntry` under a
+*primary key* of ``(image digest, cwd, command)``, together with the
+exact filesystem observations the command made — file content digests,
+existence probes, directory enumerations — as captured by
+:class:`repro.vfs.AccessTrace`.  A later identical command *hits* when
+some recorded entry's every observation still holds against the live
+container filesystem; the worker then replays the recorded output tree,
+streams, and exit code instead of executing.
+
+Three properties matter:
+
+- **Content addressing with sharing.**  Output file payloads live in a
+  refcounted blob store keyed by content digest, so a hundred entries
+  whose ``make`` produced the same binary hold it once ("no duplicate
+  artifacts"), and eviction of one entry can never corrupt another.
+- **Sound invalidation.**  Reads invalidate on content; probes on
+  existence/type; enumerations (``walk``/``iter_files``) on the *name
+  listing* — adding a source file misses even though nothing read it.
+- **Soft refcounts.**  Like the chunk store, blob refcounts are derived
+  state: snapshot/restore rebuilds them from the surviving entries.
+
+Entries are bounded by an LRU byte budget and a TTL; hit/miss/evict
+events and counters flow through the obs layer when wired.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.obs.events import EventType
+from repro.vfs.filesystem import (
+    AccessTrace,
+    VirtualFileSystem,
+    file_digest,
+    tree_signature,
+)
+
+#: Default byte budget for unique artifact blobs.
+DEFAULT_MAX_BYTES = 256 << 20
+#: Default entry TTL (idle time before eviction) — two weeks of sim time,
+#: comfortably past any one project deadline cycle.
+DEFAULT_TTL_SECONDS = 14 * 24 * 3600.0
+
+
+def image_cache_key(image) -> str:
+    """Digest of an image's effective layer digests (order-free)."""
+    acc = hashlib.sha256()
+    for digest in sorted(layer.digest for layer in image.effective_layers()):
+        acc.update(digest.encode("ascii"))
+        acc.update(b"\n")
+    return acc.hexdigest()
+
+
+def primary_key(image_key: str, cwd: str, command: str) -> str:
+    """The ccache-style *direct mode* lookup key: what is about to run,
+    where, on which image — before any source content is considered."""
+    return hashlib.sha256(
+        ("%s\0%s\0%s" % (image_key, cwd, command)).encode("utf-8")).hexdigest()
+
+
+def content_key(primary: str, inputs: Dict[str, str]) -> str:
+    """Primary key refined by the command's observed input set."""
+    acc = hashlib.sha256(primary.encode("ascii"))
+    acc.update(json.dumps(inputs, sort_keys=True).encode("utf-8"))
+    return acc.hexdigest()
+
+
+class CacheEntry:
+    """One recorded command execution: inputs observed, outputs produced."""
+
+    __slots__ = ("key", "primary", "command", "cwd", "inputs", "outputs",
+                 "stdout", "stderr", "exit_code", "charged_seconds",
+                 "rng_draws", "source_digest", "bytes",
+                 "created_at", "last_used_at", "hits")
+
+    def __init__(self, key: str, primary: str, command: str, cwd: str,
+                 inputs: Dict[str, str], outputs: List[dict],
+                 stdout: str, stderr: str, exit_code: int,
+                 charged_seconds: float, rng_draws: int,
+                 source_digest: Optional[str], artifact_bytes: int,
+                 created_at: float):
+        self.key = key
+        self.primary = primary
+        self.command = command
+        self.cwd = cwd
+        self.inputs = inputs
+        self.outputs = outputs
+        self.stdout = stdout
+        self.stderr = stderr
+        self.exit_code = int(exit_code)
+        self.charged_seconds = float(charged_seconds)
+        self.rng_draws = int(rng_draws)
+        self.source_digest = source_digest
+        self.bytes = int(artifact_bytes)
+        self.created_at = float(created_at)
+        self.last_used_at = float(created_at)
+        self.hits = 0
+
+    def blob_digests(self) -> List[str]:
+        return [out["blob"] for out in self.outputs if out["kind"] == "file"]
+
+    def to_doc(self) -> dict:
+        return {
+            "key": self.key,
+            "primary": self.primary,
+            "command": self.command,
+            "cwd": self.cwd,
+            "inputs": dict(self.inputs),
+            "outputs": [dict(out) for out in self.outputs],
+            "stdout": self.stdout,
+            "stderr": self.stderr,
+            "exit_code": self.exit_code,
+            "charged_seconds": self.charged_seconds,
+            "rng_draws": self.rng_draws,
+            "source_digest": self.source_digest,
+            "bytes": self.bytes,
+            "created_at": self.created_at,
+            "last_used_at": self.last_used_at,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "CacheEntry":
+        entry = cls(doc["key"], doc["primary"], doc["command"], doc["cwd"],
+                    dict(doc["inputs"]), [dict(o) for o in doc["outputs"]],
+                    doc["stdout"], doc["stderr"], doc["exit_code"],
+                    doc["charged_seconds"], doc["rng_draws"],
+                    doc.get("source_digest"), doc["bytes"],
+                    doc["created_at"])
+        entry.last_used_at = float(doc.get("last_used_at",
+                                           doc["created_at"]))
+        return entry
+
+    def __repr__(self):
+        return (f"<CacheEntry {self.key[:8]} {self.command!r} "
+                f"exit={self.exit_code} {self.bytes}B hits={self.hits}>")
+
+
+class BuildCache:
+    """Refcounted, LRU/TTL-evicted store of cached build commands."""
+
+    def __init__(self, clock: Callable[[], float],
+                 max_bytes: int = DEFAULT_MAX_BYTES,
+                 ttl_seconds: float = DEFAULT_TTL_SECONDS,
+                 metrics=None, events=None,
+                 seen_sources_limit: int = 4096):
+        self._clock = clock
+        self.max_bytes = int(max_bytes)
+        self.ttl_seconds = float(ttl_seconds)
+        self.metrics = metrics
+        self.events = events
+        #: content key → entry, LRU order (oldest first).
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        #: primary key → content keys, MRU first.
+        self._by_primary: Dict[str, List[str]] = {}
+        #: blob digest → payload, shared across entries.
+        self._blobs: Dict[str, bytes] = {}
+        self._blob_refs: Dict[str, int] = {}
+        self.total_blob_bytes = 0
+        self.hit_count = 0
+        self.miss_count = 0
+        self.evict_count = 0
+        #: Source-tree digests that completed a cached build — the
+        #: scheduler's hit predictor consults this (bounded LRU).
+        self._seen_sources: "OrderedDict[str, None]" = OrderedDict()
+        self._seen_sources_limit = int(seen_sources_limit)
+
+    # -- lookup --------------------------------------------------------------
+
+    def lookup(self, image_key: str, cwd: str, command: str,
+               fs: VirtualFileSystem,
+               job_id: Optional[str] = None) -> Optional[CacheEntry]:
+        """Return the first recorded entry whose observations all hold.
+
+        Entries under the same primary are tried MRU-first, so a stable
+        resubmission pattern verifies exactly one candidate.
+        """
+        primary = primary_key(image_key, cwd, command)
+        for key in self._by_primary.get(primary, []):
+            entry = self._entries.get(key)
+            if entry is None:
+                continue
+            if self._verify_inputs(entry.inputs, fs):
+                now = self._clock()
+                entry.hits += 1
+                entry.last_used_at = now
+                self._entries.move_to_end(key)
+                keys = self._by_primary[primary]
+                keys.remove(key)
+                keys.insert(0, key)
+                self.hit_count += 1
+                if self.metrics is not None:
+                    self.metrics.counter("buildcache_hits_total").inc()
+                if self.events is not None:
+                    self.events.emit(EventType.BUILDCACHE_HIT,
+                                     job_id=job_id, command=command,
+                                     key=key[:16], artifact_bytes=entry.bytes)
+                return entry
+        self.miss_count += 1
+        if self.metrics is not None:
+            self.metrics.counter("buildcache_misses_total").inc()
+        if self.events is not None:
+            self.events.emit(EventType.BUILDCACHE_MISS,
+                             job_id=job_id, command=command)
+        return None
+
+    @staticmethod
+    def _verify_inputs(inputs: Dict[str, str],
+                       fs: VirtualFileSystem) -> bool:
+        for path, descriptor in inputs.items():
+            if descriptor == "absent":
+                if fs.exists(path):
+                    return False
+            elif descriptor == "dir":
+                if not fs.isdir(path):
+                    return False
+            elif descriptor == "file":
+                if not fs.isfile(path):
+                    return False
+            elif descriptor.startswith("file:"):
+                if not fs.isfile(path):
+                    return False
+                if file_digest(fs.read_file(path)) != descriptor[5:]:
+                    return False
+            elif descriptor.startswith("tree:"):
+                if not fs.isdir(path):
+                    return False
+                node = fs._resolve_dir(path)
+                if tree_signature(path, node) != descriptor[5:]:
+                    return False
+            elif descriptor.startswith("list:"):
+                if not fs.isdir(path):
+                    return False
+                names = "\n".join(sorted(fs._resolve_dir(path).children))
+                if file_digest(names.encode()) != descriptor[5:]:
+                    return False
+            else:  # unknown descriptor kind: fail safe, never hit
+                return False
+        return True
+
+    # -- capture -------------------------------------------------------------
+
+    def capture(self, image_key: str, cwd: str, command: str,
+                trace: AccessTrace, fs: VirtualFileSystem,
+                stdout: str, stderr: str, exit_code: int,
+                charged_seconds: float, rng_draws: int,
+                source_digest: Optional[str] = None,
+                job_id: Optional[str] = None) -> CacheEntry:
+        """Record one executed command's observations and output tree.
+
+        Publication is atomic with respect to the simulation: no yields
+        happen inside, so a worker crash either sees no entry or a whole
+        one — never a partial artifact.
+        """
+        primary = primary_key(image_key, cwd, command)
+        inputs = dict(trace.inputs)
+        key = content_key(primary, inputs)
+        outputs, blobs, artifact_bytes = self._snapshot_writes(
+            fs, trace.writes)
+        now = self._clock()
+
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._unlink_entry(old)
+
+        for digest, payload in blobs.items():
+            if digest not in self._blobs:
+                self._blobs[digest] = payload
+                self._blob_refs[digest] = 0
+                self.total_blob_bytes += len(payload)
+        for out in outputs:
+            if out["kind"] == "file":
+                self._blob_refs[out["blob"]] += 1
+
+        entry = CacheEntry(key, primary, command, cwd, inputs, outputs,
+                           stdout, stderr, exit_code, charged_seconds,
+                           rng_draws, source_digest, artifact_bytes, now)
+        self._entries[key] = entry
+        self._by_primary.setdefault(primary, [])
+        if key in self._by_primary[primary]:
+            self._by_primary[primary].remove(key)
+        self._by_primary[primary].insert(0, key)
+        if source_digest:
+            self.note_source(source_digest)
+        self._evict(job_id=job_id)
+        return entry
+
+    @staticmethod
+    def _snapshot_writes(fs: VirtualFileSystem, writes) \
+            -> Tuple[List[dict], Dict[str, bytes], int]:
+        """Fold a trace's written paths into replayable output records.
+
+        Sorted order puts parents before children, so replay can apply
+        records sequentially.  Directories expand to their final subtree
+        (a ``make`` that wrote into a directory it also created must
+        replay the whole result).
+        """
+        outputs: List[dict] = []
+        blobs: Dict[str, bytes] = {}
+        seen: set = set()
+        total = 0
+
+        def add_file(path: str) -> None:
+            nonlocal total
+            if path in seen:
+                return
+            seen.add(path)
+            data = fs.read_file(path)
+            digest = file_digest(data)
+            blobs[digest] = data
+            executable = bool(fs.stat(path).get("executable"))
+            outputs.append({"path": path, "kind": "file", "blob": digest,
+                            "executable": executable})
+            total += len(data)
+
+        def add_dir(path: str) -> None:
+            if path in seen:
+                return
+            seen.add(path)
+            outputs.append({"path": path, "kind": "dir"})
+            for dirpath, dirnames, filenames in fs.walk(path):
+                for name in dirnames:
+                    sub = (dirpath.rstrip("/") + "/" + name
+                           if dirpath != "/" else "/" + name)
+                    if sub not in seen:
+                        seen.add(sub)
+                        outputs.append({"path": sub, "kind": "dir"})
+                for name in filenames:
+                    sub = (dirpath.rstrip("/") + "/" + name
+                           if dirpath != "/" else "/" + name)
+                    add_file(sub)
+
+        for path in sorted(writes):
+            if fs.isfile(path):
+                add_file(path)
+            elif fs.isdir(path):
+                add_dir(path)
+            elif path not in seen:
+                seen.add(path)
+                outputs.append({"path": path, "kind": "absent"})
+        return outputs, blobs, total
+
+    # -- replay --------------------------------------------------------------
+
+    def apply(self, entry: CacheEntry, fs: VirtualFileSystem) -> int:
+        """Materialize a hit's recorded output tree into ``fs``.
+
+        Returns the artifact bytes written (the replay transfer size).
+        """
+        for out in entry.outputs:
+            path = out["path"]
+            kind = out["kind"]
+            if kind == "dir":
+                fs.makedirs(path)
+            elif kind == "file":
+                payload = self._blobs.get(out["blob"])
+                if payload is None:
+                    raise KeyError(
+                        f"buildcache blob {out['blob'][:12]} missing "
+                        f"(entry {entry.key[:12]})")
+                fs.write_file(path, payload,
+                              executable=bool(out.get("executable")))
+            elif kind == "absent":
+                if fs.isfile(path):
+                    fs.remove(path)
+                elif fs.isdir(path):
+                    fs.rmtree(path)
+        return entry.bytes
+
+    # -- eviction ------------------------------------------------------------
+
+    def _unlink_entry(self, entry: CacheEntry) -> None:
+        keys = self._by_primary.get(entry.primary)
+        if keys is not None:
+            if entry.key in keys:
+                keys.remove(entry.key)
+            if not keys:
+                del self._by_primary[entry.primary]
+        for digest in entry.blob_digests():
+            count = self._blob_refs.get(digest)
+            if count is None:
+                continue
+            if count <= 1:
+                del self._blob_refs[digest]
+                self.total_blob_bytes -= len(self._blobs.pop(digest, b""))
+            else:
+                self._blob_refs[digest] = count - 1
+
+    def _evict_one(self, key: str, reason: str,
+                   job_id: Optional[str] = None) -> None:
+        entry = self._entries.pop(key)
+        self._unlink_entry(entry)
+        self.evict_count += 1
+        if self.metrics is not None:
+            self.metrics.counter("buildcache_evictions_total",
+                                 reason=reason).inc()
+        if self.events is not None:
+            self.events.emit(EventType.BUILDCACHE_EVICT,
+                             job_id=job_id, command=entry.command,
+                             key=key[:16], reason=reason,
+                             artifact_bytes=entry.bytes)
+
+    def _evict(self, job_id: Optional[str] = None) -> None:
+        now = self._clock()
+        if self.ttl_seconds > 0:
+            expired = [k for k, e in self._entries.items()
+                       if now - e.last_used_at > self.ttl_seconds]
+            for key in expired:
+                self._evict_one(key, "ttl", job_id=job_id)
+        while self.total_blob_bytes > self.max_bytes and self._entries:
+            key = next(iter(self._entries))
+            self._evict_one(key, "lru", job_id=job_id)
+
+    def sweep(self) -> int:
+        """TTL-only sweep (for lifecycle processes); returns evictions."""
+        before = self.evict_count
+        self._evict()
+        return self.evict_count - before
+
+    # -- scheduler prediction ------------------------------------------------
+
+    def note_source(self, source_digest: str) -> None:
+        self._seen_sources.pop(source_digest, None)
+        self._seen_sources[source_digest] = None
+        while len(self._seen_sources) > self._seen_sources_limit:
+            self._seen_sources.popitem(last=False)
+
+    def seen_source(self, source_digest: Optional[str]) -> bool:
+        """Has a build of this exact source tree completed before?"""
+        return (source_digest is not None
+                and source_digest in self._seen_sources)
+
+    # -- integrity / observability ------------------------------------------
+
+    def verify(self) -> List[str]:
+        """Cross-check blob refcounts and byte accounting against the
+        entry table; returns a list of problems (empty = consistent)."""
+        problems: List[str] = []
+        expected_refs: Dict[str, int] = {}
+        for entry in self._entries.values():
+            for digest in entry.blob_digests():
+                expected_refs[digest] = expected_refs.get(digest, 0) + 1
+                if digest not in self._blobs:
+                    problems.append(
+                        f"entry {entry.key[:12]} references missing blob "
+                        f"{digest[:12]}")
+        if expected_refs != self._blob_refs:
+            problems.append(
+                f"blob refcounts diverge: expected {len(expected_refs)} "
+                f"referenced blobs, table has {len(self._blob_refs)}")
+        actual_bytes = sum(len(b) for b in self._blobs.values())
+        if actual_bytes != self.total_blob_bytes:
+            problems.append(
+                f"byte accounting diverges: {self.total_blob_bytes} "
+                f"tracked vs {actual_bytes} held")
+        orphans = [d for d in self._blobs if d not in expected_refs]
+        if orphans:
+            problems.append(f"{len(orphans)} orphaned blobs")
+        return problems
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._entries)
+
+    def hit_rate(self) -> float:
+        total = self.hit_count + self.miss_count
+        return self.hit_count / total if total else 0.0
+
+    def top_entries(self, n: int = 5) -> List[dict]:
+        ranked = sorted(self._entries.values(),
+                        key=lambda e: (-e.hits, e.key))
+        return [{"key": e.key[:16], "command": e.command, "hits": e.hits,
+                 "bytes": e.bytes, "exit_code": e.exit_code}
+                for e in ranked[:n]]
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "blobs": len(self._blobs),
+            "blob_bytes": self.total_blob_bytes,
+            "max_bytes": self.max_bytes,
+            "ttl_seconds": self.ttl_seconds,
+            "hits": self.hit_count,
+            "misses": self.miss_count,
+            "evictions": self.evict_count,
+            "hit_rate": round(self.hit_rate(), 4),
+            "seen_sources": len(self._seen_sources),
+        }
+
+    # -- snapshot / restore --------------------------------------------------
+
+    def to_snapshot(self) -> dict:
+        """Durable image of the cache: entries + unique blobs.
+
+        Refcounts, LRU order beyond entry order, and hit/miss counters
+        are soft state — the restore path rebuilds or resets them.
+        """
+        return {
+            "max_bytes": self.max_bytes,
+            "ttl_seconds": self.ttl_seconds,
+            "entries": [e.to_doc() for e in self._entries.values()],
+            "blobs": {d: base64.b64encode(b).decode("ascii")
+                      for d, b in self._blobs.items()},
+        }
+
+    def install_snapshot(self, snap: dict) -> dict:
+        """Replace cache contents from a snapshot; rebuilds refcounts.
+
+        Blobs no surviving entry references are dropped (mirror of
+        :meth:`ChunkStore.rebuild_refcounts`).
+        """
+        blobs = {d: base64.b64decode(b)
+                 for d, b in snap.get("blobs", {}).items()}
+        self._entries = OrderedDict()
+        self._by_primary = {}
+        self._blobs = {}
+        self._blob_refs = {}
+        self.total_blob_bytes = 0
+        self._seen_sources = OrderedDict()
+        dropped = 0
+        for doc in snap.get("entries", []):
+            entry = CacheEntry.from_doc(doc)
+            missing = [d for d in entry.blob_digests() if d not in blobs]
+            if missing:  # torn entry: its payload did not survive
+                dropped += 1
+                continue
+            self._entries[entry.key] = entry
+            self._by_primary.setdefault(entry.primary, []).insert(
+                0, entry.key)
+            for digest in entry.blob_digests():
+                if digest not in self._blobs:
+                    payload = blobs[digest]
+                    self._blobs[digest] = payload
+                    self._blob_refs[digest] = 0
+                    self.total_blob_bytes += len(payload)
+                self._blob_refs[digest] += 1
+            if entry.source_digest:
+                self.note_source(entry.source_digest)
+        orphaned = len(blobs) - len(self._blobs)
+        return {
+            "entries": len(self._entries),
+            "dropped_entries": dropped,
+            "blobs": len(self._blobs),
+            "orphaned_blobs": orphaned,
+            "blob_bytes": self.total_blob_bytes,
+        }
+
+
+__all__ = [
+    "DEFAULT_MAX_BYTES", "DEFAULT_TTL_SECONDS",
+    "image_cache_key", "primary_key", "content_key",
+    "CacheEntry", "BuildCache",
+]

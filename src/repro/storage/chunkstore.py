@@ -39,6 +39,22 @@ def hash_chunk(chunk: bytes) -> str:
     return hashlib.sha256(chunk).hexdigest()
 
 
+def digest_file_map(files: Dict[str, str]) -> str:
+    """Canonical digest of a ``{path: content digest}`` file map.
+
+    The source-tree identity used end to end: the client stamps it on the
+    job, the worker keys build-cache entries by it, and the scheduler's
+    hit predictor matches on it.
+    """
+    acc = hashlib.sha256()
+    for path in sorted(files):
+        acc.update(path.encode("utf-8"))
+        acc.update(b"\0")
+        acc.update(files[path].encode("ascii"))
+        acc.update(b"\n")
+    return acc.hexdigest()
+
+
 def split_chunks(data: bytes, chunk_size: int) -> List[bytes]:
     """Split ``data`` into fixed-size chunks (last one may be short)."""
     if chunk_size <= 0:
@@ -60,14 +76,23 @@ class Manifest:
     The manifest is what a client keeps from its previous upload and what
     travels instead of the payload: a resubmission sends only the chunks
     whose digests the store is missing.
+
+    ``files`` optionally maps each archived file path to its content
+    digest.  Archive bytes embed mtimes, so two packs of the same tree
+    chunk differently — the file map is the *stable* content view: it
+    lets the worker derive a source-tree digest without a second unpack,
+    and lets a delta encode "which files changed" instead of "which
+    chunk boundaries moved".
     """
 
-    __slots__ = ("chunk_size", "total_size", "chunks", "digest")
+    __slots__ = ("chunk_size", "total_size", "chunks", "digest", "files")
 
-    def __init__(self, chunk_size: int, chunks: List[ChunkRef]):
+    def __init__(self, chunk_size: int, chunks: List[ChunkRef],
+                 files: Optional[Dict[str, str]] = None):
         self.chunk_size = int(chunk_size)
         self.chunks = list(chunks)
         self.total_size = sum(c.size for c in self.chunks)
+        self.files: Dict[str, str] = dict(files or {})
         payload_id = hashlib.sha256()
         for ref in self.chunks:
             payload_id.update(ref.digest.encode("ascii"))
@@ -75,27 +100,43 @@ class Manifest:
 
     @classmethod
     def from_bytes(cls, data: bytes,
-                   chunk_size: int = DEFAULT_CHUNK_BYTES) -> "Manifest":
+                   chunk_size: int = DEFAULT_CHUNK_BYTES,
+                   files: Optional[Dict[str, str]] = None) -> "Manifest":
         """Chunk ``data`` locally (no store needed — a pure function)."""
         refs = [ChunkRef(hash_chunk(c), len(c))
                 for c in split_chunks(data, chunk_size)]
-        return cls(chunk_size, refs)
+        return cls(chunk_size, refs, files=files)
 
     def wire_size(self) -> int:
         """Bytes the manifest itself costs on the wire (JSON encoding)."""
         return len(json.dumps(self.to_doc()).encode("utf-8"))
 
     def to_doc(self) -> dict:
-        return {
+        doc = {
             "chunk_size": self.chunk_size,
             "total_size": self.total_size,
             "chunks": [[c.digest, c.size] for c in self.chunks],
         }
+        if self.files:
+            doc["files"] = dict(self.files)
+        return doc
 
     @classmethod
     def from_doc(cls, doc: dict) -> "Manifest":
         return cls(doc["chunk_size"],
-                   [ChunkRef(d, s) for d, s in doc["chunks"]])
+                   [ChunkRef(d, s) for d, s in doc["chunks"]],
+                   files=doc.get("files"))
+
+    def tree_digest(self) -> Optional[str]:
+        """Digest over the sorted ``(path, content digest)`` file map.
+
+        Stable across re-packs of an identical tree (unlike the chunk
+        digest, which sees archive mtimes); ``None`` when the manifest
+        carries no file map.
+        """
+        if not self.files:
+            return None
+        return digest_file_map(self.files)
 
     def delta(self, base: Optional["Manifest"]) -> List[ChunkRef]:
         """Chunks of ``self`` not present in ``base`` (the client-side
@@ -104,6 +145,46 @@ class Manifest:
             return list(self.chunks)
         known = {c.digest for c in base.chunks}
         return [c for c in self.chunks if c.digest not in known]
+
+    def delta_doc(self, base: Optional["Manifest"]) -> dict:
+        """Git-style delta encoding of ``self`` against ``base``.
+
+        Chunks the base already lists travel as an integer index into the
+        base's chunk list; only novel chunks carry their full digest.
+        The file map likewise ships only changed/added entries plus the
+        names of removed files.  ``delta_wire_size`` of this doc is what
+        the manifest costs on the wire when the server holds the base.
+        """
+        if base is None:
+            return self.to_doc()
+        index = {c.digest: i for i, c in enumerate(base.chunks)}
+        chunks: List[object] = []
+        for ref in self.chunks:
+            pos = index.get(ref.digest)
+            chunks.append(pos if pos is not None else [ref.digest, ref.size])
+        doc: dict = {
+            "chunk_size": self.chunk_size,
+            "total_size": self.total_size,
+            "base": base.digest,
+            "chunks": chunks,
+        }
+        if self.files:
+            changed = {p: d for p, d in self.files.items()
+                       if base.files.get(p) != d}
+            removed = sorted(p for p in base.files if p not in self.files)
+            files_delta: dict = {}
+            if changed:
+                files_delta["changed"] = changed
+            if removed:
+                files_delta["removed"] = removed
+            if files_delta:
+                doc["files"] = files_delta
+        return doc
+
+    def delta_wire_size(self, base: Optional["Manifest"]) -> int:
+        """Wire bytes of the manifest when sent as a delta against
+        ``base`` (falls back to the full encoding without one)."""
+        return len(json.dumps(self.delta_doc(base)).encode("utf-8"))
 
     def __len__(self) -> int:
         return len(self.chunks)

@@ -72,6 +72,11 @@ class ObjectStore:
         #: When set, bucket creation, puts, deletes (any path), and
         #: lifecycle-rule additions append to the write-ahead log.
         self.journal = None
+        #: ``(bucket, owner) -> key`` of the owner's latest chunked
+        #: upload — the server side of git-style base negotiation: a
+        #: fresh client (or one that lost state to a restore) asks what
+        #: base the server holds and deltas against it.
+        self._upload_bases: Dict[tuple, str] = {}
 
     # -- buckets ------------------------------------------------------------
 
@@ -98,13 +103,17 @@ class ObjectStore:
                    metadata: Optional[dict] = None,
                    if_none_match: bool = False,
                    padding_bytes: int = 0,
-                   dedup: bool = False) -> StoredObject:
+                   dedup: bool = False,
+                   file_digests: Optional[Dict[str, str]] = None) -> StoredObject:
         """Store an object; ``if_none_match`` makes the put create-only.
 
         With ``dedup=True`` the payload is content-addressed through the
         chunk store: only chunks never seen before cost memory, and the
         stored object assembles its bytes from shared chunks on demand.
         Sizes, etags, and bucket accounting are identical either way.
+        ``file_digests`` (path → sha256 of the archived tree) rides on
+        the dedup manifest so downstream readers can address the
+        *content* without unpacking the archive.
         """
         if self.fault_hook is not None:
             self.fault_hook("put", bucket_name, key)
@@ -113,10 +122,15 @@ class ObjectStore:
             raise PreconditionFailed(f"{bucket_name}/{key} already exists")
         if dedup:
             manifest, new_bytes = self.chunk_store.store(data)
+            if file_digests:
+                manifest.files = dict(file_digests)
             obj = ChunkedObject(key, manifest, self.chunk_store,
                                 created_at=self.sim.now, metadata=metadata,
                                 etag=compute_etag(data),
                                 padding_bytes=padding_bytes)
+            owner = (metadata or {}).get("username")
+            if owner:
+                self._upload_bases[(bucket_name, owner)] = key
             self.counters.incr("dedup_puts")
             self.counters.incr("bytes_in_unique", new_bytes)
             self.counters.incr("bytes_deduped", len(data) - new_bytes)
@@ -145,6 +159,9 @@ class ObjectStore:
         if isinstance(obj, ChunkedObject):
             self.counters.incr("chunk_bytes_freed",
                                self.chunk_store.release(obj.manifest))
+            owner = obj.metadata.get("username")
+            if owner and self._upload_bases.get((bucket.name, owner)) == key:
+                del self._upload_bases[(bucket.name, owner)]
         if self.journal is not None:
             self.journal.storage_delete(bucket.name, key)
         return True
@@ -199,6 +216,43 @@ class ObjectStore:
         for key in sorted(self.bucket(bucket_name).objects):
             if key.startswith(prefix):
                 yield key
+
+    # -- base negotiation ----------------------------------------------------
+
+    def negotiate_base(self, bucket_name: str, owner: str):
+        """The manifest of ``owner``'s latest chunked upload, or ``None``.
+
+        This is the server half of git-delta ingest: a client with no
+        local ``_last_manifest`` (fresh instance, post-restore session)
+        asks the store for a base and deltas its upload against it.
+        """
+        key = self._upload_bases.get((bucket_name, owner))
+        if key is None:
+            return None
+        bucket = self.buckets.get(bucket_name)
+        obj = bucket.objects.get(key) if bucket is not None else None
+        if isinstance(obj, ChunkedObject):
+            return obj.manifest
+        return None
+
+    def rebuild_upload_bases(self) -> int:
+        """Recompute the per-owner base registry from live objects (it is
+        soft state, derived like chunk refcounts); returns entry count."""
+        latest: Dict[tuple, tuple] = {}
+        for bucket in self.buckets.values():
+            for key, obj in bucket.objects.items():
+                if not isinstance(obj, ChunkedObject):
+                    continue
+                owner = obj.metadata.get("username")
+                if not owner:
+                    continue
+                slot = (bucket.name, owner)
+                stamp = (obj.created_at, key)
+                if slot not in latest or stamp > latest[slot]:
+                    latest[slot] = stamp
+        self._upload_bases = {slot: stamp[1]
+                              for slot, stamp in latest.items()}
+        return len(self._upload_bases)
 
     # -- multipart ------------------------------------------------------------
 

@@ -11,7 +11,12 @@ genuine.
 
 from repro.vfs.path import normalize, join, parent_of, basename, split_parts
 from repro.vfs.node import FileNode, DirNode
-from repro.vfs.filesystem import VirtualFileSystem
+from repro.vfs.filesystem import (
+    AccessTrace,
+    VirtualFileSystem,
+    file_digest,
+    tree_signature,
+)
 from repro.vfs.archive import pack_tree, unpack_tree, archive_member_names
 
 __all__ = [
@@ -22,7 +27,10 @@ __all__ = [
     "split_parts",
     "FileNode",
     "DirNode",
+    "AccessTrace",
     "VirtualFileSystem",
+    "file_digest",
+    "tree_signature",
     "pack_tree",
     "unpack_tree",
     "archive_member_names",

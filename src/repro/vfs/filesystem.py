@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Optional, Tuple, Union
+import hashlib
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple, Union
 
 from repro.errors import (
     FileExists,
@@ -15,6 +16,77 @@ from repro.vfs.node import DirNode, FileNode
 from repro.vfs.path import is_within, normalize, parent_of, split_parts
 
 Node = Union[FileNode, DirNode]
+
+
+class AccessTrace:
+    """What one tracked window of filesystem activity touched.
+
+    ``inputs`` maps each path *read* (or probed) to a content descriptor:
+
+    - ``"file:<sha256>"`` — the file's content digest at read time;
+    - ``"tree:<sha256>"`` — digest of the sorted file-name listing under a
+      walked directory (enumeration is an input: a command that globs a
+      tree must be invalidated when a file is added or removed, even if it
+      never reads the newcomer);
+    - ``"dir"`` / ``"absent"`` — existence probes (``isfile``/``isdir``/
+      ``exists``) and failed reads.
+
+    ``writes`` is the set of paths the window mutated (file writes,
+    directory creation, removals, copy/move targets).  A path written
+    before it is read is *not* an input — its observed content was the
+    window's own intermediate state, not outside state.
+    """
+
+    __slots__ = ("inputs", "writes")
+
+    def __init__(self):
+        self.inputs: Dict[str, str] = {}
+        self.writes: Set[str] = set()
+
+    def note_input(self, path: str, descriptor: str) -> None:
+        if path in self.writes:
+            return
+        existing = self.inputs.get(path)
+        if existing is None:
+            self.inputs[path] = descriptor
+        elif existing == "file" and descriptor.startswith("file:"):
+            # A bare existence probe followed by an actual read upgrades to
+            # the content digest — the stronger observation wins.
+            self.inputs[path] = descriptor
+        elif existing == "dir" and descriptor.startswith(("tree:", "list:")):
+            self.inputs[path] = descriptor
+        elif existing == "list:" and descriptor.startswith("tree:"):
+            self.inputs[path] = descriptor
+
+    def note_write(self, path: str) -> None:
+        self.writes.add(path)
+
+
+def file_digest(data: bytes) -> str:
+    """SHA-256 content digest used by access tracking and build caching."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def tree_signature(top: str, node: DirNode) -> str:
+    """Digest of the sorted *file-path* listing under ``node``.
+
+    Names only, no content — editing a file leaves its tree signature
+    alone, while adding or removing one changes it.  This is exactly the
+    sensitivity a directory enumeration (walk/glob) has.
+    """
+    names: List[str] = []
+
+    def rec(path: str, dirnode: DirNode) -> None:
+        for name in sorted(dirnode.children):
+            child = dirnode.children[name]
+            cpath = path.rstrip("/") + "/" + name if path != "/" else "/" + name
+            if isinstance(child, DirNode):
+                rec(cpath, child)
+            else:
+                names.append(cpath)
+
+    rec(top, node)
+    return file_digest("\n".join(names).encode())
 
 
 class VirtualFileSystem:
@@ -34,6 +106,55 @@ class VirtualFileSystem:
         #: Directory prefixes that reject writes (used for the ``/src``
         #: read-only project mount inside containers).
         self._readonly_prefixes: List[str] = []
+        #: Active :class:`AccessTrace`, or ``None`` when not tracking.
+        self._trace: Optional[AccessTrace] = None
+        #: Tops already folded into a tree signature this window (a
+        #: recursive walk must not re-record every subdirectory).
+        self._walked: List[str] = []
+
+    # -- access tracking -----------------------------------------------------
+
+    def start_tracking(self) -> AccessTrace:
+        """Begin recording reads/probes/writes; returns the live trace."""
+        self._trace = AccessTrace()
+        self._walked = []
+        return self._trace
+
+    def stop_tracking(self) -> Optional[AccessTrace]:
+        trace, self._trace = self._trace, None
+        self._walked = []
+        return trace
+
+    def _note_probe(self, path: str) -> None:
+        if self._trace is None:
+            return
+        path = normalize(path)
+        try:
+            node = self._resolve(path)
+        except (FileNotFound, NotADirectory):
+            self._trace.note_input(path, "absent")
+            return
+        self._trace.note_input(
+            path, "dir" if isinstance(node, DirNode) else "file")
+
+    def _note_write(self, path: str) -> None:
+        if self._trace is not None:
+            self._trace.note_write(normalize(path))
+
+    def _note_tree(self, top: str) -> None:
+        """Record a walk of ``top`` as a name-enumeration input."""
+        if self._trace is None:
+            return
+        for prior in self._walked:
+            if is_within(top, prior):
+                return
+        try:
+            node = self._resolve_dir(top)
+        except (FileNotFound, NotADirectory):
+            self._trace.note_input(top, "absent")
+            return
+        self._walked.append(top)
+        self._trace.note_input(top, "tree:" + tree_signature(top, node))
 
     # -- read-only enforcement ----------------------------------------------
 
@@ -77,6 +198,7 @@ class VirtualFileSystem:
     # -- queries -----------------------------------------------------------
 
     def exists(self, path: str) -> bool:
+        self._note_probe(path)
         try:
             self._resolve(path)
             return True
@@ -84,27 +206,47 @@ class VirtualFileSystem:
             return False
 
     def isfile(self, path: str) -> bool:
+        self._note_probe(path)
         try:
             return isinstance(self._resolve(path), FileNode)
         except (FileNotFound, NotADirectory):
             return False
 
     def isdir(self, path: str) -> bool:
+        self._note_probe(path)
         try:
             return isinstance(self._resolve(path), DirNode)
         except (FileNotFound, NotADirectory):
             return False
 
     def listdir(self, path: str = "/") -> List[str]:
-        return sorted(self._resolve_dir(path).children)
+        entries = sorted(self._resolve_dir(path).children)
+        if self._trace is not None:
+            self._trace.note_input(
+                normalize(path),
+                "list:" + file_digest("\n".join(entries).encode()))
+        return entries
 
     def read_file(self, path: str) -> bytes:
-        return self._resolve_file(path).data
+        if self._trace is None:
+            return self._resolve_file(path).data
+        npath = normalize(path)
+        try:
+            data = self._resolve_file(npath).data
+        except (FileNotFound, NotADirectory):
+            self._trace.note_input(npath, "absent")
+            raise
+        except IsADirectory:
+            self._trace.note_input(npath, "dir")
+            raise
+        self._trace.note_input(npath, "file:" + file_digest(data))
+        return data
 
     def read_text(self, path: str, encoding: str = "utf-8") -> str:
         return self.read_file(path).decode(encoding)
 
     def stat(self, path: str) -> dict:
+        self._note_probe(path)
         node = self._resolve(path)
         if isinstance(node, FileNode):
             return {"type": "file", "size": node.size, "mtime": node.mtime,
@@ -114,6 +256,10 @@ class VirtualFileSystem:
     def walk(self, top: str = "/") -> Iterator[Tuple[str, List[str], List[str]]]:
         """Yield ``(dirpath, dirnames, filenames)`` in sorted order."""
         top = normalize(top)
+        self._note_tree(top)
+        return self._walk(top)
+
+    def _walk(self, top: str) -> Iterator[Tuple[str, List[str], List[str]]]:
         node = self._resolve_dir(top)
         dirs, files = [], []
         for name in sorted(node.children):
@@ -122,7 +268,7 @@ class VirtualFileSystem:
         yield top, dirs, files
         for name in dirs:
             sub = top.rstrip("/") + "/" + name if top != "/" else "/" + name
-            yield from self.walk(sub)
+            yield from self._walk(sub)
 
     def iter_files(self, top: str = "/") -> Iterator[str]:
         """Yield every file path under ``top`` in sorted order."""
@@ -157,6 +303,7 @@ class VirtualFileSystem:
                     raise FileNotFound("/" + "/".join(parts[: i + 1]))
                 child = DirNode(mtime=self._clock())
                 node.children[part] = child
+                self._note_write("/" + "/".join(parts[: i + 1]))
             elif last:
                 if isinstance(child, FileNode):
                     raise FileExists(path)
@@ -185,6 +332,7 @@ class VirtualFileSystem:
             raise IsADirectory(path)
         dirnode.children[name] = FileNode(data, mtime=self._clock(),
                                           executable=executable)
+        self._note_write(path)
 
     def append_file(self, path: str, data: Union[bytes, str]) -> None:
         if isinstance(data, str):
@@ -203,6 +351,7 @@ class VirtualFileSystem:
         if isinstance(parent.children[name], DirNode):
             raise IsADirectory(path)
         del parent.children[name]
+        self._note_write(path)
 
     def rmtree(self, path: str) -> None:
         """Remove a directory (or file) recursively."""
@@ -211,11 +360,13 @@ class VirtualFileSystem:
         parts = split_parts(path)
         if not parts:
             self.root = DirNode(mtime=self._clock())
+            self._note_write("/")
             return
         parent = self._resolve_dir(parent_of(path))
         if parts[-1] not in parent.children:
             raise FileNotFound(path)
         del parent.children[parts[-1]]
+        self._note_write(path)
 
     def copy(self, src: str, dst: str) -> None:
         """Copy a file or directory tree (``cp -r`` semantics).
@@ -232,11 +383,13 @@ class VirtualFileSystem:
         self._check_writable(dst)
         if is_within(dst, src) and isinstance(node, DirNode) and dst != src:
             raise FileExists(f"cannot copy {src} into itself: {dst}")
+        self._note_probe(src)
         clone = node.clone()
         parent = parent_of(dst)
         self.makedirs(parent)
         name = split_parts(dst)[-1]
         self._resolve_dir(parent).children[name] = clone
+        self._note_write(dst)
 
     def move(self, src: str, dst: str) -> None:
         self.copy(src, dst)
@@ -282,9 +435,11 @@ class VirtualFileSystem:
             if not isinstance(node, DirNode):
                 raise NotADirectory(dst)
             self.root = node.clone()
+            self._note_write("/")
             return
         parent = self._resolve_dir(parent_of(normalize(dst)))
         parent.children[parts[-1]] = node.clone()
+        self._note_write(normalize(dst))
 
     def __repr__(self):
         return f"<VirtualFileSystem {self.file_count()} files, {self.tree_size()}B>"

@@ -7,7 +7,12 @@ two weeks from 58 teams).  This driver replays that shape at a chosen
 scale and reports exactly the quantities the hot-path optimisations
 target:
 
-- p50/p95 simulated submit latency (queue → End);
+- p50/p95 simulated submit latency (queue → End), overall and split
+  first-submission vs. resubmission (the build cache collapses the
+  latter);
+- build-artifact cache hits on resubmissions: every resubmission edits
+  only a tuning file no build command reads, so its build inputs are
+  identical and both build commands should replay from cache;
 - upload dedup: wire bytes vs. the full re-upload cost, overall and for
   resubmissions alone;
 - docdb access paths: the per-job dedup probe must run on the
@@ -111,6 +116,8 @@ def run_hotpath(scale: HotpathScale, seed: int = 408,
     submissions.create_index("finished_at", ordered=True)
 
     latencies: List[float] = []
+    first_latencies: List[float] = []
+    resub_latencies: List[float] = []
     first_results = []
     resub_results = []
     gap = system.config.rate_limit_seconds + 1.0
@@ -131,7 +138,10 @@ def run_hotpath(scale: HotpathScale, seed: int = 408,
             started = system.sim.now
             result = yield from client.submit()
             if result.finished_at is not None:
-                latencies.append(result.finished_at - started)
+                latency = result.finished_at - started
+                latencies.append(latency)
+                (resub_latencies if attempt
+                 else first_latencies).append(latency)
             (resub_results if attempt else first_results).append(result)
 
     system.run_all([student(i) for i in range(scale.n_students)])
@@ -150,6 +160,31 @@ def run_hotpath(scale: HotpathScale, seed: int = 408,
                 "full_bytes": full,
                 "reduction": round(full / wire, 2) if wire else None}
 
+    def _latency_stats(values):
+        if not values:
+            return None
+        return {"p50": round(float(np.percentile(values, 50)), 3),
+                "p95": round(float(np.percentile(values, 95)), 3),
+                "mean": round(float(np.mean(values)), 3)}
+
+    # Build-cache hit rate *on resubmissions*: attribute each
+    # buildcache.hit/miss event to its job, then restrict to jobs that
+    # were resubmissions (identical build inputs by construction).
+    buildcache = None
+    if system.build_cache is not None:
+        resub_ids = {r.job_id for r in resub_results}
+        resub_hits = sum(
+            1 for e in system.events.query(type="buildcache.hit")
+            if e.fields.get("job_id") in resub_ids)
+        resub_misses = sum(
+            1 for e in system.events.query(type="buildcache.miss")
+            if e.fields.get("job_id") in resub_ids)
+        resub_lookups = resub_hits + resub_misses
+        buildcache = dict(system.build_cache.stats())
+        buildcache["resubmission_lookups"] = resub_lookups
+        buildcache["resubmission_hit_rate"] = (
+            round(resub_hits / resub_lookups, 4) if resub_lookups else None)
+
     chunk_stats = system.storage.chunk_store.stats()
     counters = system.monitor.counters
     metrics = {
@@ -158,11 +193,10 @@ def run_hotpath(scale: HotpathScale, seed: int = 408,
                   "n_workers": scale.n_workers},
         "dedup_enabled": dedup,
         "submissions_completed": len(latencies),
-        "latency_s": {
-            "p50": round(float(np.percentile(latencies, 50)), 3),
-            "p95": round(float(np.percentile(latencies, 95)), 3),
-            "mean": round(float(np.mean(latencies)), 3),
-        } if latencies else None,
+        "latency_s": _latency_stats(latencies),
+        "first_latency_s": _latency_stats(first_latencies),
+        "resubmission_latency_s": _latency_stats(resub_latencies),
+        "buildcache": buildcache,
         "upload": {
             "first": _upload_stats(first_results),
             "resubmissions": _upload_stats(resub_results),
@@ -196,3 +230,63 @@ def run_hotpath(scale: HotpathScale, seed: int = 408,
         "wall_clock_s": round(time.perf_counter() - wall_start, 3),
     }
     return metrics
+
+
+def grading_digest(seed: int = 408, cache_enabled: bool = True,
+                   n_students: int = 2, n_resubmissions: int = 2) -> str:
+    """Digest every grading-relevant output of a tiny sequential course.
+
+    One worker, one student at a time, so scheduling cannot reorder
+    anything; the digest covers each job's status, concatenated
+    stdout/stderr (per stream — replay publishes one chunk per stream
+    where a live build streams many, but the bytes must concatenate
+    identically), and the content of every file in the downloaded build
+    archive (path → sha256; archive bytes themselves embed mtimes, so
+    they are hashed per file, not as a blob).
+
+    The golden check: this digest must be byte-identical with the build
+    cache on and off — replay never changes what students see or what
+    grading records.
+    """
+    import hashlib
+
+    from repro.vfs import VirtualFileSystem, file_digest, unpack_tree
+
+    config = SystemConfig()
+    config.buildcache_enabled = cache_enabled
+    system = RaiSystem.standard(num_workers=1, seed=seed, config=config)
+    digest = hashlib.sha256()
+    gap = system.config.rate_limit_seconds + 1.0
+
+    def course():
+        for i in range(n_students):
+            client = system.new_client(username=f"golden{i:02d}")
+            files = _scaffold_files()
+            files["main.cu"] = _student_source(i)
+            files["zz_tuning.cfg"] = _tuning_file(i, 0)
+            client.stage_project(files)
+            for attempt in range(n_resubmissions + 1):
+                if attempt:
+                    client.stage_project(
+                        {"zz_tuning.cfg": _tuning_file(i, attempt)})
+                    yield system.sim.timeout(gap)
+                result = yield from client.submit()
+                digest.update(f"job {i}/{attempt} "
+                              f"{result.status.value}\n".encode())
+                for stream in ("stdout", "stderr"):
+                    text = "".join(chunk for _t, s, chunk in result.log
+                                   if s == stream)
+                    digest.update(f"{stream} {len(text)}\n".encode())
+                    digest.update(text.encode())
+                blob = client.download_build(result)
+                digest.update(b"build none\n" if blob is None
+                              else b"build tree\n")
+                if blob is not None:
+                    tree = VirtualFileSystem()
+                    unpack_tree(blob, tree, "/")
+                    for path in tree.iter_files("/"):
+                        content = file_digest(tree.read_file(path))
+                        digest.update(f"{path}\0{content}\n".encode())
+
+    system.run(course())
+    return digest.hexdigest()

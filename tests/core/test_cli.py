@@ -185,5 +185,35 @@ class TestObservabilityCommands:
 
     def test_new_subcommands_listed_in_help(self, cli):
         out = cli.run_command("rai help")
-        for sub in ("slo", "alerts", "events"):
+        for sub in ("slo", "alerts", "events", "cache"):
             assert sub in out
+
+    def test_cache_idle_deployment(self, cli):
+        out = cli.run_command("rai cache")
+        assert "build cache: 0 entries" in out
+        assert "chunk fetch caches" in out
+        assert "worker-0001" in out
+
+    def test_cache_after_cached_resubmission(self, cli, system):
+        cli.run_command("rai run")
+        gap = system.config.rate_limit_seconds + 1.0
+        system.run(until=system.sim.now + gap)
+        cli.run_command("rai run")
+        out = cli.run_command("rai cache")
+        assert "hit rate" in out
+        assert "hottest build-cache entries" in out
+        assert "make" in out
+        # The resubmission's two build commands hit.
+        assert "2 hits" in out
+
+    def test_cache_disabled_deployment(self):
+        from repro.core.cli import RaiCLI
+        from repro.core.config import SystemConfig
+        from repro.core.system import RaiSystem
+
+        config = SystemConfig()
+        config.buildcache_enabled = False
+        system = RaiSystem.standard(num_workers=1, seed=52, config=config)
+        client = system.new_client(team="t")
+        out = RaiCLI(system, client).run_command("rai cache")
+        assert "disabled" in out

@@ -39,7 +39,11 @@ class TestCrashRecoveryChaos:
         clients = []
         for i in range(N_CLIENTS):
             c = system.new_client(team=f"team{i}")
-            c.stage_project(FILES)
+            # Distinct sources per team: every build truly executes (a
+            # shared source tree would let the build cache collapse the
+            # storm before the crash window opens).
+            c.stage_project(dict(FILES, **{
+                "main.cu": FILES["main.cu"] + f"// team {i}\n"}))
             clients.append(c)
         for c in clients:
             system.sim.process(c.submit())
@@ -47,14 +51,21 @@ class TestCrashRecoveryChaos:
         submissions = system.db.collection("submissions")
         t = 0.0
         checkpointed = False
+        checkpoint_done = 0
+        # Fine-grained polls: once the first builds are cached, the tail
+        # of the storm replays fast, and a coarse window would watch it
+        # finish wholesale without ever exposing a mid-storm crash point.
         while True:
-            t += 10.0
+            t += 2.0
             system.run(until=t)
             done = len(submissions)
             if done >= 1 and not checkpointed:
                 system.checkpoint()  # snapshot while the storm rages
                 checkpointed = True
-            if 2 <= done < N_CLIENTS:
+                checkpoint_done = done
+            # Crash only after the WAL has grown past the checkpoint (at
+            # least one more completion journaled) with work still queued.
+            elif checkpointed and checkpoint_done < done < N_CLIENTS:
                 break
             assert t < 1e6, "storm never reached the crash window"
 

@@ -132,7 +132,12 @@ class TestWholePipeline:
             # were provisioned for sustained deadline load, not blips.
             for i in range(20):
                 c = system.new_client(team=f"t{i}")
-                c.stage_project(files)
+                # Distinct sources per team: identical trees would let
+                # the build cache collapse the burst into replays, and
+                # elasticity has nothing to help with.
+                c.stage_project(dict(
+                    files, **{"main.cu":
+                              files["main.cu"] + f"// t{i}\n"}))
                 clients.append(c)
             procs = [system.sim.process(c.submit()) for c in clients]
             if scale_out:

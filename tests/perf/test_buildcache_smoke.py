@@ -1,0 +1,72 @@
+"""Tier-1 guards for the incremental-build acceptance bars.
+
+The build cache must be (nearly) free when it cannot help — a course of
+first-time builds with the cache enabled costs < 5% wall clock over the
+cache disabled — and must be *invisible* in results: the grading digest
+of a whole course is byte-identical with the cache on and off.
+"""
+
+import time
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.workload.hotpath import (
+    HotpathScale,
+    SMOKE_SCALE,
+    grading_digest,
+    run_hotpath,
+)
+
+pytestmark = [pytest.mark.perf, pytest.mark.buildcache]
+
+#: First-submissions only: every build is a miss-then-capture, the
+#: cache's worst case (tracking + snapshot cost, no replay wins).
+#: Big enough that the 5% budget is measured against real work, not
+#: interpreter startup noise.
+FIRST_BUILD_SCALE = HotpathScale("firstbuild", n_students=12,
+                                 n_resubmissions=0, n_workers=4)
+
+
+def _run(cache_enabled: bool) -> dict:
+    config = SystemConfig()
+    config.buildcache_enabled = cache_enabled
+    return run_hotpath(FIRST_BUILD_SCALE, config=config)
+
+
+def _cpu_seconds(cache_enabled: bool) -> float:
+    start = time.process_time()
+    _run(cache_enabled)
+    return time.process_time() - start
+
+
+def test_first_build_overhead_under_five_percent():
+    # CPU time, not wall clock: the workload is sub-second, and wall
+    # clock picks up scheduler noise that dwarfs a 5% effect.  One
+    # warmup pair absorbs allocator/bytecode cold start, then min-of-5
+    # interleaved runs — the minimum is the closest observable to the
+    # true cost of the code path.
+    _cpu_seconds(True)
+    _cpu_seconds(False)
+    samples = [(_cpu_seconds(True), _cpu_seconds(False))
+               for _ in range(5)]
+    on = min(s for s, _ in samples)
+    off = min(s for _, s in samples)
+    ratio = on / off if off > 0 else 1.0
+    assert ratio < 1.05, (
+        f"build-cache first-build overhead {100 * (ratio - 1):.1f}% "
+        f"exceeds 5% budget (on={on:.3f}s off={off:.3f}s)")
+
+
+def test_grading_digest_identical_cache_on_vs_off():
+    on = grading_digest(cache_enabled=True)
+    off = grading_digest(cache_enabled=False)
+    assert on == off
+
+
+def test_resubmissions_hit_at_smoke_scale():
+    metrics = run_hotpath(SMOKE_SCALE)
+    bc = metrics["buildcache"]
+    assert bc is not None
+    assert bc["resubmission_hit_rate"] >= 0.8
+    assert metrics["resubmission_latency_s"]["p50"] < 2.0
