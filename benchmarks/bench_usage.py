@@ -1,0 +1,184 @@
+"""Usage metering & cost attribution — the PR-10 acceptance bench.
+
+Not a paper figure: this bench prices the ``repro.obs.usage`` subsystem
+and pins its invariants at scale.  Two parts:
+
+1. **Attribution run** — a provisioned fleet (4 instances, 2 slots
+   each) serves a six-team storm; the bench asserts the conservation
+   invariant (per-tenant attributed + idle == ``Provisioner.total_cost``
+   within 1e-6, live *and* after a snapshot → install round trip) and
+   that every team active in the window shows nonzero container-seconds
+   in the ``rai cost`` report.
+2. **Overhead run** — the medium hot-path workload with metering on vs
+   off, min-of-N CPU seconds; the bar is < 5%.
+
+Writes ``BENCH_usage.json`` at the repository root.
+
+Run: ``pytest benchmarks/bench_usage.py -s``
+"""
+
+import json
+import os
+import time
+
+from benchmarks.conftest import print_banner
+from repro.cluster import Provisioner
+from repro.core.config import SystemConfig
+from repro.core.system import RaiSystem
+from repro.durability.snapshot import capture, install
+from repro.workload.hotpath import DEFAULT_SCALES, run_hotpath
+
+_OUT_PATH = os.path.join(os.path.dirname(os.path.dirname(__file__)),
+                         "BENCH_usage.json")
+
+FILES = {
+    "main.cu": "// @rai-sim quality=0.8 impl=analytic\nint main(){}\n",
+    "CMakeLists.txt": "add_executable(ece408 main.cu)\n",
+}
+
+TEAMS = [f"team{i:02d}" for i in range(6)]
+JOBS_PER_TEAM = 3
+_ROUNDS = 3  # min-of-N per side damps scheduler noise
+
+MEDIUM_SCALE = next(s for s in DEFAULT_SCALES if s.name == "medium")
+
+
+def _attribution_run():
+    system = RaiSystem(seed=408,
+                       config=SystemConfig(usage_window_seconds=600.0))
+    provisioner = Provisioner(system)
+    provisioner.launch_many(4, instance_type="p2.xlarge",
+                            max_concurrent_jobs=2, boot_delay=1.0)
+    system.run(until=5)
+    gap = system.config.rate_limit_seconds + 5.0
+
+    def student(idx, team):
+        client = system.new_client(team=team, username=f"{team}-user")
+        client.stage_project(FILES)
+        yield system.sim.timeout(0.5 * idx)
+        for k in range(JOBS_PER_TEAM):
+            if k:
+                yield system.sim.timeout(gap)
+            result = yield from client.submit()
+            results.append(result)
+
+    results = []
+    system.run_all([student(i, t) for i, t in enumerate(TEAMS)])
+    assert all(r.status.value == "succeeded" for r in results)
+
+    provisioner.terminate_all()
+    system.cost_allocator.refresh()
+    report = system.cost_allocator.report()
+    fleet_total = provisioner.total_cost()
+
+    # -- acceptance: conservation within 1e-6, live books ---------------
+    residual = abs(report["attributed_cost"] + report["idle_cost"]
+                   - fleet_total)
+    assert residual < 1e-6, f"conservation violated by ${residual:.2e}"
+
+    # -- acceptance: every active team has nonzero container-seconds ----
+    by_team = {row["team"]: row for row in report["tenants"]}
+    for team in TEAMS:
+        assert by_team[team]["container_seconds"] > 0, \
+            f"{team} active in the window but metered zero"
+
+    # -- acceptance: conservation survives snapshot -> restore ----------
+    snap = capture(system)
+    target = RaiSystem(seed=408,
+                       config=SystemConfig(usage_window_seconds=600.0))
+    install(target, snap)
+    view = target.cost_allocator.preview()
+    restored_residual = abs(view["attributed_total"] + view["idle_cost"]
+                            - fleet_total)
+    assert restored_residual < 1e-6, \
+        f"post-restore conservation violated by ${restored_residual:.2e}"
+
+    return {
+        "teams": len(TEAMS),
+        "jobs": len(results),
+        "fleet_cost_usd": round(fleet_total, 6),
+        "attributed_cost_usd": round(report["attributed_cost"], 6),
+        "idle_cost_usd": round(report["idle_cost"], 6),
+        "conservation_residual_usd": residual,
+        "restored_conservation_residual_usd": restored_residual,
+        "tenants": [
+            {"team": row["team"],
+             "container_seconds": round(row["container_seconds"], 3),
+             "gpu_seconds": round(row["gpu_seconds"], 3),
+             "cost_usd": round(row["cost_usd"], 6),
+             "share_pct": round(100 * row["share"], 2)}
+            for row in report["tenants"]
+        ],
+    }
+
+
+def _cpu_seconds(metering_enabled: bool) -> float:
+    config = SystemConfig()
+    config.usage_metering_enabled = metering_enabled
+    start = time.process_time()
+    run_hotpath(MEDIUM_SCALE, config=config)
+    return time.process_time() - start
+
+
+def _overhead_run():
+    _cpu_seconds(True)   # warmup pair
+    _cpu_seconds(False)
+    samples = [(_cpu_seconds(True), _cpu_seconds(False))
+               for _ in range(_ROUNDS)]
+    on = min(s for s, _ in samples)
+    off = min(s for _, s in samples)
+    overhead = (on / off - 1.0) if off > 0 else 0.0
+    return {
+        "scale": MEDIUM_SCALE.name,
+        "submissions": MEDIUM_SCALE.n_students
+        * (MEDIUM_SCALE.n_resubmissions + 1),
+        "cpu_s_metering_on": round(on, 4),
+        "cpu_s_metering_off": round(off, 4),
+        "overhead_pct": round(100 * overhead, 2),
+    }
+
+
+def test_usage_attribution_and_overhead(benchmark):
+    def run_both():
+        return _attribution_run(), _overhead_run()
+
+    attribution, overhead = benchmark.pedantic(run_both, rounds=1,
+                                               iterations=1)
+
+    print_banner("repro.obs.usage — cost attribution "
+                 f"({attribution['teams']} teams, "
+                 f"{attribution['jobs']} jobs)")
+    print(f"{'team':<10}{'cont s':>9}{'gpu s':>9}{'cost':>11}"
+          f"{'share':>8}")
+    for row in attribution["tenants"]:
+        print(f"{row['team']:<10}{row['container_seconds']:>9.1f}"
+              f"{row['gpu_seconds']:>9.1f}"
+              f"{row['cost_usd']:>11.4f}{row['share_pct']:>7.1f}%")
+    print(f"\nfleet ${attribution['fleet_cost_usd']:.4f} = "
+          f"attributed ${attribution['attributed_cost_usd']:.4f} + "
+          f"idle/overhead ${attribution['idle_cost_usd']:.4f}")
+    print("conservation residual: "
+          f"${attribution['conservation_residual_usd']:.2e} live, "
+          f"${attribution['restored_conservation_residual_usd']:.2e} "
+          "after restore (budget 1e-6)")
+
+    print_banner("repro.obs.usage — metering overhead "
+                 f"(medium scale, min of {_ROUNDS})")
+    print(f"on {overhead['cpu_s_metering_on']:.3f}s  "
+          f"off {overhead['cpu_s_metering_off']:.3f}s  "
+          f"overhead {overhead['overhead_pct']:.1f}% (budget 5%)")
+
+    # --- acceptance bar: metering costs < 5% at medium scale -----------
+    assert overhead["overhead_pct"] < 5.0
+
+    payload = {
+        "bench": "usage",
+        "source": "benchmarks/bench_usage.py",
+        "rounds_per_side": _ROUNDS,
+        "attribution": attribution,
+        "overhead": overhead,
+    }
+    with open(_OUT_PATH, "w") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    print(f"\nwrote {_OUT_PATH}")

@@ -57,6 +57,9 @@ class MessageBroker:
         #: When set, every durable-topic transition (publish, deliver,
         #: ack, requeue, dead-letter) is appended to the write-ahead log.
         self.journal = None
+        #: Optional :class:`~repro.obs.usage.UsageMeter`; wired by
+        #: RaiSystem so message traffic bills the publishing tenant.
+        self.usage = None
 
     # -- topology ------------------------------------------------------------
 
@@ -133,6 +136,12 @@ class MessageBroker:
         topic.publish(msg)
         self.counters.incr("messages_published")
         self.counters.incr("bytes_published", size)
+        if self.usage is not None and isinstance(body, dict):
+            # Task bodies carry team/username; log-stream and control
+            # traffic without them meters as platform overhead.
+            self.usage.record("broker_messages", 1.0,
+                              tenant=body.get("team")
+                              or body.get("username"))
         return msg
 
     @property

@@ -2,11 +2,17 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.cluster.instance import InstanceType, get_instance_type
 from repro.core.config import WorkerConfig
+
+#: Guard against float drift on exact hour boundaries: a lease of
+#: exactly 2h must bill 2 hours even if the subtraction lands on
+#: 7200.0000000001 seconds.
+_HOUR_EPSILON = 1e-9
 
 
 @dataclass
@@ -18,15 +24,32 @@ class ProvisionedInstance:
     worker: object = None           # RaiWorker once booted
     terminated_at: Optional[float] = None
     boot_process: object = None
+    slots: int = 1                  # max_concurrent_jobs of its worker
 
     def cost_until(self, now: float) -> float:
-        """Accrued cost; cloud billing is per (partial) hour."""
-        end = self.terminated_at if self.terminated_at is not None else now
-        hours = max(0.0, end - self.launched_at) / 3600.0
-        import math
+        """Accrued cost; cloud billing is per (partial) hour.
 
-        billed = max(1.0, math.ceil(hours)) if hours > 0 else 0.0
+        Billing starts at *launch*, not boot: an instance terminated
+        ten seconds in — before its worker ever joined — still bills a
+        full first hour, exactly as the cloud would charge it.  The two
+        edge cases that round the other way: a zero-duration lease
+        (terminated the same instant it launched) bills nothing, and an
+        exact hour boundary bills that many hours, not one more.
+        """
+        end = self.terminated_at if self.terminated_at is not None else now
+        seconds = max(0.0, end - self.launched_at)
+        if seconds <= 0.0:
+            return 0.0
+        hours = seconds / 3600.0
+        billed = max(1.0, math.ceil(hours - _HOUR_EPSILON))
         return billed * self.instance_type.hourly_cost_usd
+
+    def overlap_seconds(self, start: float, end: float) -> float:
+        """Seconds this lease was live inside ``[start, end)``."""
+        lease_end = self.terminated_at if self.terminated_at is not None else end
+        lo = max(start, self.launched_at)
+        hi = min(end, lease_end)
+        return max(0.0, hi - lo)
 
     @property
     def is_live(self) -> bool:
@@ -40,6 +63,14 @@ class Provisioner:
         self.system = system
         self.sim = system.sim
         self.instances: List[ProvisionedInstance] = []
+        # Register with the system's metering/metrics plane when it has
+        # one (bare harnesses in unit tests may not).
+        fleet = getattr(system, "provisioners", None)
+        if fleet is not None:
+            fleet.append(self)
+        allocator = getattr(system, "cost_allocator", None)
+        if allocator is not None:
+            allocator.attach_provisioner(self)
 
     # -- scale out ------------------------------------------------------------
 
@@ -49,7 +80,8 @@ class Provisioner:
         """Lease an instance; its worker joins the pool after boot."""
         itype = get_instance_type(instance_type)
         inst = ProvisionedInstance(instance_type=itype,
-                                   launched_at=self.sim.now)
+                                   launched_at=self.sim.now,
+                                   slots=max_concurrent_jobs)
         delay = itype.boot_seconds if boot_delay is None else boot_delay
 
         def boot():
@@ -65,6 +97,7 @@ class Provisioner:
 
         inst.boot_process = self.sim.process(boot())
         self.instances.append(inst)
+        self._register_type_gauges(itype.name)
         return inst
 
     def launch_many(self, count: int, **kwargs) -> List[ProvisionedInstance]:
@@ -102,3 +135,46 @@ class Provisioner:
     def total_cost(self, now: Optional[float] = None) -> float:
         now = self.sim.now if now is None else now
         return sum(i.cost_until(now) for i in self.instances)
+
+    def total_instance_hours(self, now: Optional[float] = None) -> float:
+        now = self.sim.now if now is None else now
+        seconds = sum(
+            max(0.0, (i.terminated_at if i.terminated_at is not None
+                      else now) - i.launched_at)
+            for i in self.instances)
+        return seconds / 3600.0
+
+    def capacity_slot_seconds(self, start: float, end: float) -> float:
+        """Provisioned worker-slot capacity inside ``[start, end)``."""
+        return sum(i.overlap_seconds(start, end) * i.slots
+                   for i in self.instances)
+
+    def _register_type_gauges(self, type_name: str) -> None:
+        """Per-instance-type cost/occupancy gauges (satellite of PR 10).
+
+        Labelled *callback* gauges: the periodic sampler skips them (by
+        design — see scrape.py), but `rai stats`, exports, and tests
+        read them through the registry, which is what "CostReport is no
+        longer CLI-only" requires.  The closures sum over every
+        provisioner attached to the system so repeated registration
+        keeps the first (equivalent) callback.
+        """
+        metrics = getattr(self.system, "metrics", None)
+        fleet = getattr(self.system, "provisioners", None)
+        if metrics is None or fleet is None:
+            return
+        sim = self.sim
+
+        def type_cost():
+            return sum(i.cost_until(sim.now)
+                       for p in fleet for i in p.instances
+                       if i.instance_type.name == type_name)
+
+        def type_live():
+            return sum(1 for p in fleet for i in p.instances
+                       if i.instance_type.name == type_name and i.is_live)
+
+        metrics.gauge("cluster_cost_usd", fn=type_cost,
+                      instance_type=type_name)
+        metrics.gauge("cluster_instances_live", fn=type_live,
+                      instance_type=type_name)

@@ -53,7 +53,7 @@ class WarmContainerPool:
                  ttl_seconds: float = 900.0,
                  create_seconds: float = 2.0,
                  reset_seconds: float = 0.2,
-                 events=None, owner: Optional[str] = None):
+                 events=None, owner: Optional[str] = None, usage=None):
         if max_per_image < 0:
             raise ValueError("max_per_image must be >= 0")
         if create_seconds < 0 or reset_seconds < 0:
@@ -68,6 +68,10 @@ class WarmContainerPool:
         #: worker's id, so fleet-wide pool churn reads as one stream.
         self.events = events
         self.owner = owner
+        #: Optional :class:`~repro.obs.usage.UsageMeter`: warm-slot
+        #: occupancy is billable — a hit charges the acquiring tenant
+        #: the idle time it consumed; TTL evictions are overhead.
+        self.usage = usage
         self._parked: Dict[str, Deque[_Parked]] = {}
         self._closed = False
         self.hits = 0
@@ -93,7 +97,7 @@ class WarmContainerPool:
     # -- the job-facing surface ----------------------------------------
 
     def acquire(self, image_name: str, limits=None, mounts=None,
-                gpu_device=None, on_output=None
+                gpu_device=None, on_output=None, usage_key=None
                 ) -> Tuple[Container, bool, float]:
         """Hand out a container for ``image_name``.
 
@@ -101,7 +105,8 @@ class WarmContainerPool:
         (CREATED state, caller starts it), whether it came warm from the
         pool, and the simulated seconds the caller must charge for the
         acquisition (engine create cost on a miss, reprovision cost on a
-        hit).
+        hit).  ``usage_key`` is the tenant a warm hit's consumed slot
+        time is metered against.
         """
         self.evict_expired()
         queue = self._parked.get(image_name)
@@ -109,6 +114,10 @@ class WarmContainerPool:
             entry = queue.popleft()
             if not queue:
                 del self._parked[image_name]
+            if self.usage is not None:
+                self.usage.record("warm_slot_seconds",
+                                  self.clock() - entry.parked_at,
+                                  tenant=usage_key)
             container = entry.container
             container.recycle(limits=limits, mounts=mounts or [],
                               gpu_device=gpu_device, on_output=on_output)
@@ -170,6 +179,11 @@ class WarmContainerPool:
                 evicted += 1
                 self._emit("pool.evict", image=image_name, reason="ttl",
                            idle=now - entry.parked_at)
+                if self.usage is not None:
+                    # Nobody claimed this slot before it expired: the
+                    # idle time is platform overhead, not tenant usage.
+                    self.usage.record("warm_slot_seconds",
+                                      now - entry.parked_at, tenant=None)
             if not queue:
                 del self._parked[image_name]
         return evicted

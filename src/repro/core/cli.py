@@ -29,8 +29,8 @@ class RaiCLI:
 
     SUBCOMMANDS = ("run", "submit", "ranking", "history", "download",
                    "stats", "top", "trace", "slo", "alerts", "events",
-                   "shards", "cache", "checkpoint", "restore", "version",
-                   "help")
+                   "shards", "cache", "usage", "cost", "checkpoint",
+                   "restore", "version", "help")
 
     def __init__(self, system, client: RaiClient):
         self.system = system
@@ -347,6 +347,97 @@ class RaiCLI:
             worker_rows, title="chunk fetch caches") if worker_rows \
             else "no workers"
         return "\n".join(lines) + "\n\n" + table + "\n"
+
+    def _cmd_usage(self, args: List[str]) -> str:
+        """``rai usage`` — the raw per-tenant meter, ranked by compute.
+
+        What each team consumed (container/GPU seconds, bytes moved and
+        stored, docdb/broker traffic) plus what the platform's caches
+        saved it — before any pricing.
+        """
+        from repro.analysis.report import format_bytes, render_table
+
+        meter = self.system.usage
+        header = (f"course {meter.course}: {meter.tenant_count()} teams "
+                  f"metered, {meter.total_records} records"
+                  + ("" if meter.enabled else " (metering disabled)"))
+        tenants = sorted(
+            meter.tenants.items(),
+            key=lambda item: -item[1].get("container_seconds", 0.0))
+        if not tenants:
+            return header + "\nno usage recorded\n"
+        rows = []
+        for tenant, res in tenants:
+            rows.append([
+                tenant,
+                f"{res.get('container_seconds', 0.0):.1f}",
+                f"{res.get('gpu_seconds', 0.0):.1f}",
+                format_bytes(res.get("storage_bytes_uploaded", 0.0)),
+                format_bytes(res.get("storage_bytes_downloaded", 0.0)),
+                format_bytes(res.get("storage_bytes_stored", 0.0)),
+                format_bytes(res.get("storage_bytes_saved_dedup", 0.0)),
+                f"{res.get('build_seconds_saved', 0.0):.1f}",
+                int(res.get("docdb_ops", 0.0)),
+                int(res.get("broker_messages", 0.0)),
+            ])
+        table = render_table(
+            ["team", "cont s", "gpu s", "up", "down", "stored",
+             "dedup saved", "build s saved", "docdb", "msgs"],
+            rows, title="usage by team")
+        return header + "\n\n" + table + "\n"
+
+    def _cmd_cost(self, args: List[str]) -> str:
+        """``rai cost`` — priced attribution: who pays for what.
+
+        Settles complete billing windows, then renders tenants ranked by
+        attributed fleet cost, the idle/overhead remainder, the
+        conservation check, and trace exemplars for the most expensive
+        jobs.
+        """
+        from repro.analysis.report import render_table
+
+        allocator = self.system.cost_allocator
+        allocator.refresh()
+        report = allocator.report()
+        lines = [
+            f"course {report['course']} @ t={report['at']:.0f}s: "
+            f"fleet ${report['fleet_cost']:.4f} = "
+            f"attributed ${report['attributed_cost']:.4f} "
+            f"+ idle/overhead ${report['idle_cost']:.4f} "
+            f"({report['windows_closed']} windows settled)",
+        ]
+        if not report["tenants"]:
+            lines.append("no attributable usage recorded")
+            return "\n".join(lines) + "\n"
+        rows = []
+        for entry in report["tenants"]:
+            burn = entry["budget_burn"]
+            budget = entry["budget_usd"]
+            rows.append([
+                entry["team"],
+                f"{entry['container_seconds']:.1f}",
+                f"{entry['gpu_seconds']:.1f}",
+                f"${entry['cost_usd']:.4f}",
+                f"{entry['share'] * 100:.1f}%",
+                f"${budget:.2f}" if budget is not None else "-",
+                f"{burn * 100:.0f}%" if burn is not None else "-",
+            ])
+        lines.append("")
+        lines.append(render_table(
+            ["team", "cont s", "gpu s", "cost", "share", "budget", "burn"],
+            rows, title="cost by team"))
+        exemplars = self.system.usage.top_jobs(5)
+        if exemplars:
+            rows = [[job.job_id, job.tenant,
+                     f"{job.container_seconds:.1f}",
+                     f"{job.gpu_seconds:.1f}",
+                     job.trace_id or "-"]
+                    for job in exemplars]
+            lines.append("")
+            lines.append(render_table(
+                ["job", "team", "cont s", "gpu s", "trace"],
+                rows, title="most expensive jobs (trace exemplars)"))
+        return "\n".join(lines) + "\n"
 
     def _cmd_events(self, args: List[str]) -> str:
         """``rai events [job_id|type|tail N]`` — query the event log."""

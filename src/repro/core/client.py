@@ -235,6 +235,14 @@ class RaiClient:
         if full_bytes > upload_bytes:
             self.system.monitor.incr("bytes_upload_deduped",
                                      full_bytes - upload_bytes)
+        usage = getattr(self.system, "usage", None)
+        if usage is not None:
+            tenant = self.team or self.username
+            usage.record("storage_bytes_uploaded", float(upload_bytes),
+                         tenant=tenant)
+            if full_bytes > upload_bytes:
+                usage.record("storage_bytes_saved_dedup",
+                             float(full_bytes - upload_bytes), tenant=tenant)
 
         # Step 4 — create and sign the job request.
         job = Job(

@@ -182,6 +182,18 @@ class SystemConfig:
     #: SJF cost multiplier for jobs whose source tree already completed a
     #: cached build (< 1.0 — the scheduler expects mostly cache hits).
     buildcache_hit_cost_factor: float = 0.35
+    #: Per-tenant usage metering (``repro.obs.usage``).  Disable to
+    #: measure the metering overhead itself or reproduce pre-metering
+    #: behaviour; the meter object still exists, every record call
+    #: short-circuits.
+    usage_metering_enabled: bool = True
+    #: Billing window the CostAllocator settles (cloud billing granularity).
+    usage_window_seconds: float = 3600.0
+    #: Budget-burn period for per-team budget SLOs (the paper's weekly
+    #: AWS budget cadence).
+    usage_budget_window_seconds: float = 7 * 24 * 3600.0
+    #: Course every tenant in this deployment is metered under.
+    course_name: str = "ece408"
 
     def __post_init__(self):
         if self.shards < 1:
@@ -202,3 +214,7 @@ class SystemConfig:
         if not 0.0 < self.buildcache_hit_cost_factor <= 1.0:
             raise ValueError(
                 "buildcache_hit_cost_factor must be in (0, 1]")
+        if self.usage_window_seconds <= 0:
+            raise ValueError("usage_window_seconds must be positive")
+        if self.usage_budget_window_seconds <= 0:
+            raise ValueError("usage_budget_window_seconds must be positive")

@@ -28,7 +28,8 @@ from repro.obs.alerts import AlertManager
 from repro.obs.events import EventLog
 from repro.obs.metrics import CounterGroup, MetricsRegistry
 from repro.obs.scrape import MetricsScraper
-from repro.obs.slo import SloEngine, default_slos
+from repro.obs.slo import SloEngine, SloSpec, default_slos
+from repro.obs.usage import CostAllocator, UsageMeter
 from repro.obs.store import TraceStore
 from repro.obs.tracer import Tracer
 from repro.sched import JobScheduler, RuntimeEstimator, SchedulerPolicy
@@ -93,11 +94,30 @@ class RaiSystem:
             clock=lambda: self.sim.now,
             max_events=self.config.event_log_max_events,
             enabled=self.config.event_log_enabled)
+        #: Per-tenant usage metering + fleet-cost attribution
+        #: (``repro.obs.usage``).  Every layer below meters into
+        #: ``self.usage``; the allocator prices it against whatever
+        #: :class:`~repro.cluster.Provisioner`\s attach themselves.
+        self.usage = UsageMeter(
+            clock=lambda: self.sim.now,
+            course=self.config.course_name,
+            window_seconds=self.config.usage_window_seconds,
+            enabled=self.config.usage_metering_enabled)
+        self.cost_allocator = CostAllocator(
+            self.usage, clock=lambda: self.sim.now,
+            window_seconds=self.config.usage_window_seconds,
+            budget_window_seconds=self.config.usage_budget_window_seconds,
+            metrics=self.metrics, events=self.events)
+        #: Provisioners currently attached (``repro.cluster``); the
+        #: cluster_* gauges below sum over this list.
+        self.provisioners: list = []
 
         self.broker = MessageBroker(self.sim, metrics=self.metrics,
                                     tracer=self.tracer, events=self.events)
+        self.broker.usage = self.usage
         self.storage = ObjectStore(self.sim,
                                    chunk_size=self.config.chunk_size_bytes)
+        self.storage.usage = self.usage
         #: Content-keyed build-artifact cache shared by every worker
         #: (``repro.storage.buildcache``); None reproduces the
         #: always-rebuild path.
@@ -109,6 +129,7 @@ class RaiSystem:
                 ttl_seconds=self.config.buildcache_ttl_seconds,
                 metrics=self.metrics, events=self.events)
         self.db = DocumentDB(self.sim, metrics=self.metrics)
+        self.db.usage = self.usage
 
         #: The sharded control plane (``repro.shard``) when ``shards > 1``;
         #: None runs the exact unsharded legacy paths (shards=1 is
@@ -189,6 +210,25 @@ class RaiSystem:
         self.metrics.gauge("buildcache_bytes",
                            fn=lambda: (self.build_cache.total_blob_bytes
                                        if self.build_cache else 0))
+        # Fleet economics off the registry, not just `rai`/CostReport:
+        # totals are unlabelled callback gauges (the sampler scrapes
+        # them); per-instance-type splits are registered per type by the
+        # provisioner itself.
+        self.metrics.gauge("cluster_cost_usd_total",
+                           fn=lambda: sum(p.total_cost()
+                                          for p in self.provisioners))
+        self.metrics.gauge("cluster_instances_live",
+                           fn=lambda: sum(len(p.live_instances)
+                                          for p in self.provisioners))
+        self.metrics.gauge("cluster_instance_hours",
+                           fn=lambda: sum(p.total_instance_hours()
+                                          for p in self.provisioners))
+        self.metrics.gauge("usage_attributed_cost_usd",
+                           fn=self.cost_allocator.attributed_total)
+        self.metrics.gauge("usage_idle_cost_usd",
+                           fn=lambda: self.cost_allocator.idle_cost)
+        self.metrics.gauge("usage_metered_tenants",
+                           fn=self.usage.tenant_count)
 
         # The SLO loop: scraper (registry snapshots on the sim clock) →
         # engine (multi-window burn rates over the default objectives) →
@@ -310,10 +350,36 @@ class RaiSystem:
             summary="metrics scraper has stopped taking snapshots")
 
         def _on_scrape(snapshot):
+            # Settle billing windows and push the per-team cost/burn
+            # gauges before judging SLOs: the burn a budget SLO sees is
+            # at most one scrape interval stale.
+            self.cost_allocator.refresh(snapshot.time)
             self.alerts.check(now=snapshot.time, scrape=False)
 
         return self.sim.process(
             self.scraper.process(self.sim, on_scrape=_on_scrape))
+
+    def set_team_budget(self, team: str, usd: float,
+                        target: float = 0.75) -> SloSpec:
+        """Give ``team`` a budget and an SLO that burns when it's blown.
+
+        The allocator keeps a ``usage_budget_burn{team=...}`` set-gauge
+        at spent/budget for the current budget period; the gauge-kind
+        SLO here judges it through the standard multi-window burn-rate
+        machinery, so a team that out-spends its budget fires (and, once
+        back under, resolves) ``slo:budget-burn:<team>`` through the
+        same AlertManager as every other objective.
+        """
+        self.cost_allocator.set_budget(team, usd)
+        name = f"budget-burn:{team}"
+        spec = self.slo_engine.spec(name)
+        if spec is None:
+            spec = self.slo_engine.add_spec(SloSpec(
+                name=name, kind="gauge",
+                description=f"{team} stays under its usage budget",
+                metric="usage_budget_burn", label=f"team={team}",
+                threshold=1.0, op="<=", target=target))
+        return spec
 
     # -- failure recovery ------------------------------------------------------
 
@@ -663,4 +729,6 @@ class RaiSystem:
             "events": self.events.stats(),
             "alerts": (self.alerts.stats() if self.alerts is not None
                        else {}),
+            "usage": self.usage.stats(),
+            "cost": self.cost_allocator.stats(),
         }

@@ -79,6 +79,7 @@ class RaiWorker:
             reset_seconds=self.config.container_reset_seconds,
             events=getattr(system, "events", None),
             owner=self.id,
+            usage=getattr(system, "usage", None),
         )
         #: The deployment event log (None for bare test harnesses).
         self.events = getattr(system, "events", None)
@@ -332,6 +333,15 @@ class RaiWorker:
                     if self.config.job_deadline_seconds is not None else None)
         proc_start = self.sim.now
         pool_hit: Optional[bool] = None
+        # Per-job usage accounting, folded into ONE meter call in the
+        # finally block (metering must stay off the per-command path).
+        # Attribution rides the job document, so a redelivered or
+        # cross-shard-stolen job still bills its originating team.
+        usage = getattr(self.system, "usage", None)
+        usage_exec_seconds = 0.0
+        usage_saved_seconds = 0.0
+        usage_fetch_bytes = 0
+        usage_upload_bytes = 0
         self.active_jobs += 1
         tracer = self.system.tracer
         # Parent on the message headers: the broker.deliver span the
@@ -406,6 +416,7 @@ class RaiWorker:
                 status = JobStatus.REJECTED
                 return
             transfer_bytes = self._fetch_transfer_bytes(archive)
+            usage_fetch_bytes = transfer_bytes
             get_span.set_attribute("transfer_bytes", transfer_bytes)
             get_span.set_attribute("object_bytes", archive.size)
             yield self.sim.timeout(
@@ -438,6 +449,7 @@ class RaiWorker:
                 ],
                 gpu_device=self.gpu,
                 on_output=publish_log,
+                usage_key=job.team or job.username,
             )
             # Step 5 — run the build commands.
             try:
@@ -506,6 +518,9 @@ class RaiWorker:
                             artifact_bytes=artifact_bytes,
                             saved_seconds=round(
                                 entry.charged_seconds - replay_seconds, 6))
+                        usage_exec_seconds += replay_seconds
+                        usage_saved_seconds += max(
+                            0.0, entry.charged_seconds - replay_seconds)
                         yield self.sim.timeout(replay_seconds)
                         if entry.stdout:
                             publish_log("stdout", entry.stdout)
@@ -546,6 +561,7 @@ class RaiWorker:
                             container.time_dilation = self._timing_noise
                     # sim_duration already includes contention dilation
                     # (applied at charge time inside the container).
+                    usage_exec_seconds += result.sim_duration
                     yield self.sim.timeout(result.sim_duration)
                     exec_span.set_attribute("exit_code", result.exit_code)
                     if result.error is not None:
@@ -619,6 +635,7 @@ class RaiWorker:
                         self.system.monitor.incr("build_upload_failures")
                     else:
                         put_span.end()
+                        usage_upload_bytes = len(blob)
                         build_url = self.system.storage.presign_get(
                             self.system.config.build_bucket, key,
                             expires_in=self.system.config
@@ -668,6 +685,19 @@ class RaiWorker:
                 # A crashed worker's job is not *finished* — the broker
                 # redelivers it, and that attempt reports the outcome.
                 # Only real terminations feed the success-ratio SLO.
+                # Same rule for the usage meter: the redelivery attempt
+                # (which re-runs the work) is the one that bills.
+                if usage is not None:
+                    usage.record_job(
+                        job.team or job.username, job_id=job.id,
+                        trace_id=wspan.trace_id,
+                        container_seconds=usage_exec_seconds,
+                        gpu_seconds=(usage_exec_seconds
+                                     if self.gpu is not None else 0.0),
+                        slot_seconds=self.sim.now - proc_start,
+                        bytes_downloaded=usage_fetch_bytes,
+                        bytes_uploaded=usage_upload_bytes,
+                        build_seconds_saved=usage_saved_seconds)
                 self.system.metrics.counter(
                     "jobs_finished", status=status.value).inc()
                 self._emit("job.state_change", span=wspan, job_id=job.id,

@@ -136,6 +136,11 @@ class Collection:
         journal = self.db.journal
         if journal is not None:
             journal.docdb_insert(self.name, doc)
+        usage = self.db.usage
+        if usage is not None:
+            tenant = doc.get("team") or doc.get("username")
+            usage.record("docdb_ops", 1.0,
+                         tenant=tenant if isinstance(tenant, str) else None)
         return doc_id
 
     def _note_oid(self, doc_id) -> None:
@@ -242,6 +247,14 @@ class Collection:
             self.planner_stats["index_hits"] += 1
         self.planner_stats["docs_examined"] += len(ids)
         self.last_plan = plan
+        usage = self.db.usage
+        if usage is not None:
+            # Every CRUD verb plans here, so one hook meters them all.
+            # Filter values may be operator dicts ({"$gt": ...}) — only
+            # a plain string names a tenant.
+            tenant = filter.get("team") or filter.get("username")
+            usage.record("docdb_ops", 1.0,
+                         tenant=tenant if isinstance(tenant, str) else None)
         return ids, plan
 
     def _plan(self, filter: dict):
@@ -344,6 +357,9 @@ class DocumentDB:
         #: When set, every write (insert/update/delete/index/drop) is
         #: appended to the write-ahead log after it is applied.
         self.journal = None
+        #: Optional :class:`~repro.obs.usage.UsageMeter`; wired by
+        #: RaiSystem so document traffic bills the owning tenant.
+        self.usage = None
 
     def collection(self, name: str):
         sharded = self._sharded.get(name)

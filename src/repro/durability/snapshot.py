@@ -87,6 +87,12 @@ def capture(system) -> dict:
         "buildcache": (system.build_cache.to_snapshot()
                        if getattr(system, "build_cache", None) is not None
                        else None),
+        "usage": (system.usage.to_snapshot()
+                  if getattr(system, "usage", None) is not None
+                  else None),
+        "cost": (system.cost_allocator.to_snapshot()
+                 if getattr(system, "cost_allocator", None) is not None
+                 else None),
     }
 
 
@@ -216,6 +222,16 @@ def install(system, snap: dict) -> dict:
     bc_snap = snap.get("buildcache")
     if bc_snap is not None and getattr(system, "build_cache", None) is not None:
         counts["buildcache"] = system.build_cache.install_snapshot(bc_snap)
+    # Usage meter + cost books: accrued per-tenant usage and settled
+    # attribution survive the crash; pre-crash snapshots (key absent)
+    # restore to empty books.
+    usage_snap = snap.get("usage")
+    if usage_snap is not None and getattr(system, "usage", None) is not None:
+        counts["usage_tenants"] = system.usage.install_snapshot(usage_snap)
+    cost_snap = snap.get("cost")
+    if cost_snap is not None and \
+            getattr(system, "cost_allocator", None) is not None:
+        system.cost_allocator.install_snapshot(cost_snap)
     watermarks = snap.get("watermarks", {})
     from repro.broker.message import advance_message_ids
     from repro.core.job import advance_job_ids

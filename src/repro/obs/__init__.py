@@ -46,6 +46,14 @@ from repro.obs.scrape import MetricsScraper, MetricsSnapshot
 from repro.obs.slo import SloEngine, SloSpec, SloStatus, default_slos
 from repro.obs.span import NOOP_SPAN, NoopSpan, Span, SpanStatus
 from repro.obs.store import Trace, TraceStore
+from repro.obs.usage import (
+    UNATTRIBUTED,
+    USAGE_RESOURCES,
+    CostAllocator,
+    CostWindow,
+    UsageMeter,
+    UsageRecord,
+)
 from repro.obs.tracer import Tracer
 from repro.obs.waterfall import (
     critical_path,
@@ -65,6 +73,8 @@ __all__ = [
     "MetricsScraper", "MetricsSnapshot",
     "SloSpec", "SloEngine", "SloStatus", "default_slos",
     "Alert", "AlertManager",
+    "UsageMeter", "UsageRecord", "CostAllocator", "CostWindow",
+    "USAGE_RESOURCES", "UNATTRIBUTED",
     "span_to_dict", "trace_to_dict", "export_trace_json",
     "export_spans_jsonl", "export_metrics_json",
     "critical_path", "critical_path_report", "render_waterfall",

@@ -52,6 +52,8 @@ class EventType:
     DURABILITY_REPLAY = "durability.replay"
     SHARD_ROUTE = "shard.route"
     SHARD_STEAL = "shard.steal"
+    USAGE_SAMPLE = "usage.sample"
+    COST_WINDOW = "cost.window"
 
 
 class Event:

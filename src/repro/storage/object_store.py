@@ -64,6 +64,10 @@ class ObjectStore:
         self.chunk_store = ChunkStore(chunk_size=chunk_size)
         self._signer = PresignSigner(secret, clock=lambda: self.sim.now)
         self._uploads: Dict[str, MultipartUpload] = {}
+        #: Optional :class:`~repro.obs.usage.UsageMeter`; wired by
+        #: RaiSystem so stored bytes bill the owning tenant (attribution
+        #: from the object metadata's team/username).
+        self.usage = None
         #: Chaos hook: ``fault_hook(op, bucket, key)`` runs before every
         #: get/put and may raise (e.g. TransientStorageError).  Installed
         #: by :class:`repro.faults.FaultInjector`; None in normal runs.
@@ -141,6 +145,17 @@ class ObjectStore:
         bucket.objects[key] = obj
         self.counters.incr("puts")
         self.counters.incr("bytes_in", obj.size)
+        if self.usage is not None:
+            meta = metadata or {}
+            tenant = meta.get("team") or meta.get("username")
+            self.usage.record("storage_bytes_stored", float(len(data)),
+                              tenant=tenant)
+            if dedup and len(data) > new_bytes:
+                # Chunks already resident cost no new storage: credit
+                # the dedup win separately instead of hiding it.
+                self.usage.record("storage_bytes_saved_dedup",
+                                  float(len(data) - new_bytes),
+                                  tenant=tenant)
         if self.journal is not None:
             self.journal.storage_put(bucket_name, key, data, metadata,
                                      padding_bytes, dedup)

@@ -115,3 +115,84 @@ class TestCost:
         assert report.instances_launched == 2
         assert report.total_cost_usd == pytest.approx(2 * 0.90)
         assert "fleet" in report.render()
+
+
+class TestBillingEdgeCases:
+    """Partial-hour billing corners pinned (PR 10 satellite)."""
+
+    def test_zero_duration_instance_bills_nothing(self, system, provisioner):
+        inst = provisioner.launch("p2.xlarge")
+        provisioner.terminate(inst)   # same instant it launched
+        assert inst.terminated_at == inst.launched_at
+        system.run(until=7200)
+        assert inst.cost_until(system.sim.now) == 0.0
+
+    def test_exact_hour_boundary_does_not_round_up(self, system, provisioner):
+        inst = provisioner.launch("p2.xlarge")
+        system.run(until=2 * 3600)
+        provisioner.terminate(inst)
+        # Exactly 2h is 2 billed hours, not 3 — even with float drift.
+        assert inst.cost_until(system.sim.now) == pytest.approx(2 * 0.90)
+        # Simulated drift just past the boundary must not add an hour.
+        inst.terminated_at = inst.launched_at + 2 * 3600 + 1e-10
+        assert inst.cost_until(system.sim.now) == pytest.approx(2 * 0.90)
+
+    def test_terminate_before_boot_still_bills_first_hour(
+            self, system, provisioner):
+        inst = provisioner.launch("p2.xlarge")
+        system.run(until=10)   # still booting (boot takes 120s)
+        provisioner.terminate(inst)
+        assert inst.worker is None
+        # Cloud billing starts at launch, not boot: ten seconds of
+        # lease is one billed hour.
+        system.run(until=100000)
+        assert inst.cost_until(system.sim.now) == pytest.approx(0.90)
+
+    def test_live_instance_open_ended_billing_is_monotone(
+            self, system, provisioner):
+        inst = provisioner.launch("p2.xlarge")
+        costs = [inst.cost_until(t) for t in (0.0, 1.0, 3600.0, 3601.0,
+                                              7200.0, 7200.5)]
+        assert costs == sorted(costs)
+        assert costs[-1] == pytest.approx(3 * 0.90)  # 7200.5s -> 3rd hour
+
+
+class TestClusterGauges:
+    """CostReport's numbers are registry gauges too (PR 10 satellite)."""
+
+    def test_fleet_cost_and_occupancy_gauges(self, system, provisioner):
+        provisioner.launch("p2.xlarge")
+        provisioner.launch("g2.2xlarge")
+        system.run(until=1800)
+        metrics = system.metrics
+        assert metrics.value("cluster_cost_usd_total") == pytest.approx(
+            provisioner.total_cost())
+        assert metrics.value("cluster_instances_live") == 2
+        assert metrics.value("cluster_instance_hours") == pytest.approx(1.0)
+        # Per-instance-type labelled gauges split the same totals.
+        assert metrics.value("cluster_cost_usd",
+                             instance_type="p2.xlarge") == pytest.approx(0.90)
+        assert metrics.value("cluster_cost_usd",
+                             instance_type="g2.2xlarge") == pytest.approx(0.65)
+        assert metrics.value("cluster_instances_live",
+                             instance_type="p2.xlarge") == 1
+
+    def test_gauges_sum_across_provisioners(self, system):
+        first = Provisioner(system)
+        second = Provisioner(system)
+        first.launch("p2.xlarge")
+        second.launch("p2.xlarge")
+        system.run(until=600)
+        assert system.metrics.value("cluster_cost_usd_total") == \
+            pytest.approx(first.total_cost() + second.total_cost())
+        assert system.metrics.value(
+            "cluster_cost_usd", instance_type="p2.xlarge") == \
+            pytest.approx(2 * 0.90)
+
+    def test_terminated_instances_leave_live_gauge(self, system, provisioner):
+        inst = provisioner.launch("p2.xlarge")
+        system.run(until=200)
+        provisioner.terminate(inst)
+        assert system.metrics.value("cluster_instances_live") == 0
+        assert system.metrics.value("cluster_cost_usd_total") == \
+            pytest.approx(0.90)

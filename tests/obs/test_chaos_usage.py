@@ -1,0 +1,101 @@
+"""Chaos: a team that blows through its budget fires — then resolves.
+
+The budget-burn SLO rides the standard gauge machinery: the allocator
+pushes ``usage_budget_burn{team=...}`` on every scrape, the SLO judges
+it against burn <= 1.0, and the alert manager handles hysteresis.  So
+an over-budget team pages, and a budget raise (the TA relents) clears
+the page once good samples outweigh the bad window.
+"""
+
+import pytest
+
+from repro.cluster import Provisioner
+from repro.core.config import SystemConfig
+from repro.core.system import RaiSystem
+from repro.obs.events import EventType
+
+pytestmark = [pytest.mark.obs, pytest.mark.usage, pytest.mark.chaos]
+
+FILES = {
+    "main.cu": "// @rai-sim quality=0.8 impl=analytic\n",
+    "CMakeLists.txt": "add_executable(ece408 main.cu)\n",
+}
+
+
+class TestBudgetBurnAlert:
+    def test_over_budget_team_fires_then_budget_raise_resolves(self):
+        config = SystemConfig(scrape_interval_seconds=30.0,
+                              slo_fast_window_seconds=120.0,
+                              slo_slow_window_seconds=600.0,
+                              usage_window_seconds=300.0)
+        system = RaiSystem(seed=23, config=config)
+        provisioner = Provisioner(system)
+        provisioner.launch_many(2, instance_type="p2.xlarge",
+                                max_concurrent_jobs=2, boot_delay=1.0)
+
+        # A twentieth-of-a-cent budget: the first metered container-
+        # second of a ~$1.80/h fleet blows it.
+        spec = system.set_team_budget("overspender", 0.0005)
+        assert spec.name == "budget-burn:overspender"
+        assert system.set_team_budget("overspender", 0.0005) is spec  # idempotent
+        system.start_observability()
+
+        client = system.new_client(team="overspender")
+        client.stage_project(FILES)
+
+        def spend(sim):
+            yield sim.timeout(5.0)
+            for _ in range(3):
+                yield from client.submit()
+                yield sim.timeout(config.rate_limit_seconds + 5.0)
+
+        system.sim.process(spend(system.sim))
+        system.sim.run(until=400.0)
+
+        assert system.usage.tenant_total(
+            "overspender", "container_seconds") > 0
+        assert system.cost_allocator.budget_burn("overspender") > 1.0
+        assert system.metrics.value(
+            "usage_budget_burn", team="overspender") > 1.0
+        assert system.alerts.is_firing("slo:budget-burn:overspender")
+
+        # The TA relents: a generous budget drops burn under threshold
+        # on the next scrape, and good samples then drain the window.
+        system.cost_allocator.set_budget("overspender", 1e6)
+        system.sim.run(until=2500.0)
+        assert system.cost_allocator.budget_burn("overspender") < 1.0
+        assert not system.alerts.is_firing("slo:budget-burn:overspender")
+
+        incidents = system.alerts.incidents("slo:budget-burn:overspender")
+        assert len(incidents) == 1
+        assert incidents[0].resolved_at is not None
+        fired = system.events.query(type=EventType.ALERT_FIRED)
+        cleared = system.events.query(type=EventType.ALERT_RESOLVED)
+        assert any(e.fields["alert"] == "slo:budget-burn:overspender"
+                   for e in fired)
+        assert any(e.fields["alert"] == "slo:budget-burn:overspender"
+                   for e in cleared)
+
+    def test_under_budget_team_never_pages(self):
+        config = SystemConfig(scrape_interval_seconds=30.0,
+                              usage_window_seconds=300.0)
+        system = RaiSystem(seed=24, config=config)
+        provisioner = Provisioner(system)
+        provisioner.launch_many(2, instance_type="p2.xlarge",
+                                max_concurrent_jobs=2, boot_delay=1.0)
+        system.set_team_budget("frugal", 1e6)
+        system.start_observability()
+
+        client = system.new_client(team="frugal")
+        client.stage_project(FILES)
+
+        def spend(sim):
+            yield sim.timeout(5.0)
+            yield from client.submit()
+
+        system.sim.process(spend(system.sim))
+        system.sim.run(until=600.0)
+        assert system.usage.tenant_total("frugal", "container_seconds") > 0
+        assert system.cost_allocator.budget_burn("frugal") < 1.0
+        assert not system.alerts.is_firing("slo:budget-burn:frugal")
+        assert system.alerts.incidents("slo:budget-burn:frugal") == []

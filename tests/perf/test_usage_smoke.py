@@ -1,0 +1,66 @@
+"""Tier-1 guard for the metering acceptance bar: usage metering adds
+< 5% CPU overhead to the medium hotpath workload versus metering
+disabled.  Metering is on by default, so this is the cost every
+deployment pays — the meter must stay a handful of dict adds per job.
+"""
+
+import time
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.workload.hotpath import DEFAULT_SCALES, run_hotpath
+
+pytestmark = [pytest.mark.perf, pytest.mark.usage]
+
+#: The ISSUE pins the bar at the medium tier: 10 students x 6
+#: resubmissions on 4 workers — enough jobs that a per-job metering
+#: regression is visible over interpreter noise.
+MEDIUM_SCALE = next(s for s in DEFAULT_SCALES if s.name == "medium")
+
+
+def _cpu_seconds(metering_enabled: bool) -> float:
+    config = SystemConfig()
+    config.usage_metering_enabled = metering_enabled
+    start = time.process_time()
+    run_hotpath(MEDIUM_SCALE, config=config)
+    return time.process_time() - start
+
+
+def _overhead_ratio() -> float:
+    # Same protocol as the build-cache smoke: CPU time not wall clock,
+    # interleaved pairs, judged by whichever of two fair estimators is
+    # smaller — ratio of sums (averages slow machine drift) and ratio
+    # of minimums (quiet-window cost) — since on a loaded box either
+    # one alone can be unlucky by more than the whole 5% budget.
+    samples = [(_cpu_seconds(True), _cpu_seconds(False))
+               for _ in range(4)]
+    sum_on = sum(s for s, _ in samples)
+    sum_off = sum(s for _, s in samples)
+    min_on = min(s for s, _ in samples)
+    min_off = min(s for _, s in samples)
+    if sum_off <= 0 or min_off <= 0:
+        return 1.0
+    return min(sum_on / sum_off, min_on / min_off)
+
+
+def test_metering_overhead_under_five_percent():
+    # One warmup pair absorbs allocator/bytecode cold start.  A true
+    # regression fails both attempts; a one-off noise spike does not.
+    _cpu_seconds(True)
+    _cpu_seconds(False)
+    ratio = _overhead_ratio()
+    if ratio >= 1.05:
+        ratio = min(ratio, _overhead_ratio())
+    assert ratio < 1.05, (
+        f"usage metering overhead {100 * (ratio - 1):.1f}% exceeds "
+        "5% budget")
+
+
+def test_metering_on_changes_no_results():
+    on = run_hotpath(MEDIUM_SCALE, config=SystemConfig())
+    config_off = SystemConfig()
+    config_off.usage_metering_enabled = False
+    off = run_hotpath(MEDIUM_SCALE, config=config_off)
+    assert on["submissions_completed"] == off["submissions_completed"]
+    assert on["latency_s"] == off["latency_s"]
